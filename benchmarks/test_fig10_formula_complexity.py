@@ -1,0 +1,63 @@
+"""Figure 10: quality bucketized by formula complexity, Auto-Formula vs SpreadsheetCoder."""
+
+from repro.baselines import SpreadsheetCoderBaseline
+from repro.evaluation import bucket_metrics, run_method_on_cases
+from repro.formula.classify import COMPLEXITY_BUCKETS
+
+from conftest import CORPUS_ORDER
+
+
+def test_fig10_sensitivity_to_formula_complexity(
+    benchmark, autoformula_runs_timestamp, workloads_timestamp, report_writer
+):
+    def build_buckets():
+        auto_results = [
+            result
+            for name in CORPUS_ORDER
+            for result in autoformula_runs_timestamp[name].results
+        ]
+        coder_results = []
+        for name in CORPUS_ORDER:
+            workload = workloads_timestamp[name]
+            run = run_method_on_cases(
+                SpreadsheetCoderBaseline(), workload.reference_workbooks, workload.cases, name
+            )
+            coder_results.extend(run.results)
+        return (
+            bucket_metrics(auto_results, by="complexity"),
+            bucket_metrics(coder_results, by="complexity"),
+        )
+
+    auto_buckets, coder_buckets = benchmark.pedantic(build_buckets, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 10: quality by formula complexity (AST node count buckets)",
+        f"{'bucket':>10s} {'cases':>7s} | {'AF recall':>10s} {'AF prec':>9s} | {'SC recall':>10s} {'SC prec':>9s}",
+    ]
+    for bucket_name in COMPLEXITY_BUCKETS:
+        auto = auto_buckets.get(bucket_name)
+        coder = coder_buckets.get(bucket_name)
+        if auto is None:
+            continue
+        coder_recall = f"{coder.recall:10.3f}" if coder else f"{'-':>10s}"
+        coder_precision = f"{coder.precision:9.3f}" if coder else f"{'-':>9s}"
+        lines.append(
+            f"{bucket_name:>10s} {auto.n_cases:>7d} | {auto.recall:10.3f} {auto.precision:9.3f} | "
+            f"{coder_recall} {coder_precision}"
+        )
+    report_writer("fig10_formula_complexity", lines)
+
+    # Shape checks mirroring the paper:
+    #  * Auto-Formula's quality is not strongly tied to complexity — it still
+    #    predicts complex formulas (recall > 0 in the hardest populated bucket);
+    #  * SpreadsheetCoder only competes on the simplest formulas and collapses
+    #    on complex ones.
+    populated = [name for name in COMPLEXITY_BUCKETS if name in auto_buckets]
+    hardest = populated[-1]
+    assert auto_buckets[hardest].recall > 0.0
+    complex_buckets = [name for name in populated if name not in ("l<3", "l=3")]
+    for name in complex_buckets:
+        coder = coder_buckets.get(name)
+        if coder is None or coder.n_cases == 0:
+            continue
+        assert auto_buckets[name].recall >= coder.recall

@@ -1,0 +1,60 @@
+"""Figure 11: quality bucketized by formula type, Auto-Formula vs SpreadsheetCoder."""
+
+from repro.baselines import SpreadsheetCoderBaseline
+from repro.evaluation import bucket_metrics, run_method_on_cases
+from repro.formula.classify import FormulaCategory
+
+from conftest import CORPUS_ORDER
+
+TYPE_ORDER = [category.value for category in FormulaCategory]
+
+
+def test_fig11_sensitivity_to_formula_types(
+    benchmark, autoformula_runs_timestamp, workloads_timestamp, report_writer
+):
+    def build_buckets():
+        auto_results = [
+            result
+            for name in CORPUS_ORDER
+            for result in autoformula_runs_timestamp[name].results
+        ]
+        coder_results = []
+        for name in CORPUS_ORDER:
+            workload = workloads_timestamp[name]
+            run = run_method_on_cases(
+                SpreadsheetCoderBaseline(), workload.reference_workbooks, workload.cases, name
+            )
+            coder_results.extend(run.results)
+        return (
+            bucket_metrics(auto_results, by="type"),
+            bucket_metrics(coder_results, by="type"),
+        )
+
+    auto_buckets, coder_buckets = benchmark.pedantic(build_buckets, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 11: quality by formula type",
+        f"{'type':>12s} {'cases':>7s} | {'AF recall':>10s} {'AF prec':>9s} | {'SC recall':>10s} {'SC prec':>9s}",
+    ]
+    for type_name in TYPE_ORDER:
+        auto = auto_buckets.get(type_name)
+        if auto is None:
+            continue
+        coder = coder_buckets.get(type_name)
+        coder_recall = f"{coder.recall:10.3f}" if coder else f"{'-':>10s}"
+        coder_precision = f"{coder.precision:9.3f}" if coder else f"{'-':>9s}"
+        lines.append(
+            f"{type_name:>12s} {auto.n_cases:>7d} | {auto.recall:10.3f} {auto.precision:9.3f} | "
+            f"{coder_recall} {coder_precision}"
+        )
+    report_writer("fig11_formula_types", lines)
+
+    # Shape checks: conditional and math formulas are both well covered by
+    # Auto-Formula, while SpreadsheetCoder only performs on plain math
+    # aggregations (it cannot produce multi-parameter conditional formulas).
+    assert "conditional" in auto_buckets and "math" in auto_buckets
+    assert auto_buckets["conditional"].recall > 0.2
+    assert auto_buckets["math"].recall > 0.2
+    coder_conditional = coder_buckets.get("conditional")
+    if coder_conditional is not None:
+        assert auto_buckets["conditional"].recall > coder_conditional.recall

@@ -1,0 +1,51 @@
+"""Figure 12: sensitivity to the content embedder (GloVe vs Sentence-BERT stand-ins)."""
+
+from repro.features import FeatureConfig
+from repro.models import ModelConfig, TrainingConfig, train_models
+
+from conftest import CORPUS_ORDER, evaluate_autoformula
+
+
+def test_fig12_embedder_sensitivity(benchmark, training_pairs, encoder, workloads_timestamp, report_writer):
+    def evaluate_both():
+        rows = {}
+        # Sentence-BERT stand-in: the session encoder (trained in conftest).
+        sbert_runs = evaluate_autoformula(encoder, workloads_timestamp)
+        rows["Sentence-BERT"] = {name: run.metrics.as_row() for name, run in sbert_runs.items()}
+        # GloVe stand-in: retrain the representation models on the same pairs
+        # with the cheaper word-averaging content embedder.
+        glove_config = ModelConfig(
+            features=FeatureConfig(embedder_name="glove", content_embedding_dim=32)
+        )
+        glove_encoder, __ = train_models(
+            training_pairs, glove_config, TrainingConfig(epochs=8, seed=0)
+        )
+        glove_runs = evaluate_autoformula(glove_encoder, workloads_timestamp)
+        rows["GloVe"] = {name: run.metrics.as_row() for name, run in glove_runs.items()}
+        return rows
+
+    rows = benchmark.pedantic(evaluate_both, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 12: content-embedder sensitivity (per-corpus R / P / F1)",
+        f"{'embedder':16s} " + " ".join(f"{name:>26s}" for name in CORPUS_ORDER),
+    ]
+    for embedder_name, per_corpus in rows.items():
+        cells = []
+        for name in CORPUS_ORDER:
+            metrics = per_corpus[name]
+            cells.append(
+                f"R={metrics['recall']:.2f} P={metrics['precision']:.2f} F1={metrics['f1']:.2f}"
+            )
+        lines.append(f"{embedder_name:16s} " + " ".join(f"{cell:>26s}" for cell in cells))
+    report_writer("fig12_embedders", lines)
+
+    # Shape: the two embedders land in the same quality ballpark (the paper
+    # finds them comparable, with Sentence-BERT slightly ahead on one corpus).
+    for name in CORPUS_ORDER:
+        sbert_f1 = rows["Sentence-BERT"][name]["f1"]
+        glove_f1 = rows["GloVe"][name]["f1"]
+        assert abs(sbert_f1 - glove_f1) < 0.45
+    sbert_mean = sum(rows["Sentence-BERT"][name]["f1"] for name in CORPUS_ORDER) / len(CORPUS_ORDER)
+    glove_mean = sum(rows["GloVe"][name]["f1"] for name in CORPUS_ORDER) / len(CORPUS_ORDER)
+    assert sbert_mean > 0.4 and glove_mean > 0.3

@@ -1,0 +1,56 @@
+"""Figure 13: ablation of content features and style features."""
+
+from repro.features import FeatureConfig
+from repro.models import ModelConfig, TrainingConfig, train_models
+
+from conftest import CORPUS_ORDER, evaluate_autoformula
+
+
+def _train_and_evaluate(training_pairs, workloads, feature_config: FeatureConfig):
+    model_config = ModelConfig(features=feature_config)
+    encoder, __ = train_models(training_pairs, model_config, TrainingConfig(epochs=8, seed=0))
+    runs = evaluate_autoformula(encoder, workloads)
+    return {name: run.metrics.as_row() for name, run in runs.items()}
+
+
+def test_fig13_feature_ablation(benchmark, training_pairs, encoder, workloads_timestamp, report_writer):
+    def evaluate_variants():
+        rows = {}
+        full_runs = evaluate_autoformula(encoder, workloads_timestamp)
+        rows["Auto-Formula (full)"] = {name: run.metrics.as_row() for name, run in full_runs.items()}
+        rows["No content features"] = _train_and_evaluate(
+            training_pairs, workloads_timestamp, FeatureConfig(use_content_features=False)
+        )
+        rows["No style features"] = _train_and_evaluate(
+            training_pairs, workloads_timestamp, FeatureConfig(use_style_features=False)
+        )
+        return rows
+
+    rows = benchmark.pedantic(evaluate_variants, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 13: ablation of content / style cell features (per-corpus R / P / F1)",
+        f"{'variant':24s} " + " ".join(f"{name:>26s}" for name in CORPUS_ORDER),
+    ]
+    for variant, per_corpus in rows.items():
+        cells = []
+        for name in CORPUS_ORDER:
+            metrics = per_corpus[name]
+            cells.append(
+                f"R={metrics['recall']:.2f} P={metrics['precision']:.2f} F1={metrics['f1']:.2f}"
+            )
+        lines.append(f"{variant:24s} " + " ".join(f"{cell:>26s}" for cell in cells))
+    report_writer("fig13_feature_ablation", lines)
+
+    # Shape: removing content features hurts substantially (content carries
+    # most of the signal); the full model is at least as good on average as
+    # either ablation.
+    def mean_f1(variant: str) -> float:
+        return sum(rows[variant][name]["f1"] for name in CORPUS_ORDER) / len(CORPUS_ORDER)
+
+    full = mean_f1("Auto-Formula (full)")
+    no_content = mean_f1("No content features")
+    no_style = mean_f1("No style features")
+    assert full >= no_content
+    assert full >= no_style - 0.05
+    assert full - no_content > 0.05

@@ -1,0 +1,50 @@
+"""Figure 14: ablation of the coarse-grained / fine-grained model separation."""
+
+from repro.core import AutoFormulaConfig
+
+from conftest import CORPUS_ORDER, evaluate_autoformula
+
+
+def test_fig14_granularity_ablation(benchmark, encoder, workloads_timestamp, report_writer):
+    def evaluate_modes():
+        rows = {}
+        for label, granularity in [
+            ("Auto-Formula (both)", "both"),
+            ("Coarse-grained only", "coarse_only"),
+            ("Fine-grained only", "fine_only"),
+        ]:
+            runs = evaluate_autoformula(
+                encoder,
+                workloads_timestamp,
+                AutoFormulaConfig(granularity=granularity, acceptance_threshold=0.35),
+            )
+            rows[label] = {name: run.metrics.as_row() for name, run in runs.items()}
+        return rows
+
+    rows = benchmark.pedantic(evaluate_modes, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 14: coarse/fine granularity ablation (per-corpus R / P / F1)",
+        f"{'variant':24s} " + " ".join(f"{name:>26s}" for name in CORPUS_ORDER),
+    ]
+    for variant, per_corpus in rows.items():
+        cells = []
+        for name in CORPUS_ORDER:
+            metrics = per_corpus[name]
+            cells.append(
+                f"R={metrics['recall']:.2f} P={metrics['precision']:.2f} F1={metrics['f1']:.2f}"
+            )
+        lines.append(f"{variant:24s} " + " ".join(f"{cell:>26s}" for cell in cells))
+    report_writer("fig14_granularity_ablation", lines)
+
+    def mean_f1(variant: str) -> float:
+        return sum(rows[variant][name]["f1"] for name in CORPUS_ORDER) / len(CORPUS_ORDER)
+
+    full = mean_f1("Auto-Formula (both)")
+    coarse_only = mean_f1("Coarse-grained only")
+    fine_only = mean_f1("Fine-grained only")
+    # Shape (as in the paper): the full model beats coarse-only by a large
+    # margin (coarse embeddings cannot localize regions precisely) and is at
+    # least on par with fine-only.
+    assert full > coarse_only
+    assert full >= fine_only - 0.05

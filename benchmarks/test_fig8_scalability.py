@@ -1,0 +1,124 @@
+"""Figure 8: online latency vs corpus size, plus offline preprocessing cost.
+
+Sweeps the number of reference sheets and measures (a) the online
+prediction latency of Auto-Formula with the Sentence-BERT-style and the
+GloVe-style content embedders, and (b) Mondrian's prediction latency, whose
+pairwise graph matching grows much faster and times out first — the paper's
+Figure 8 shape.  The sweep is scaled down from the paper's 10-10,000 sheets
+to keep the NumPy benchmark fast; the relative growth rates are what the
+benchmark asserts.
+"""
+
+import time
+
+from repro.baselines import MondrianBaseline, MondrianConfig
+from repro.core import AutoFormula, AutoFormulaConfig
+from repro.corpus import CorpusGenerator, CorpusSpec
+from repro.features import FeatureConfig
+from repro.models import ModelConfig, SheetEncoder
+
+from conftest import CORPUS_ORDER
+
+#: Reference-corpus sizes (in workbooks); each workbook has 1-2 sheets.
+SWEEP_SIZES = (5, 20, 60)
+#: Hard budget for Mondrian's offline phase at each size.
+MONDRIAN_BUDGET_SECONDS = 30.0
+
+
+def _build_reference_pool(n_workbooks: int):
+    spec = CorpusSpec(
+        name=f"scaling-{n_workbooks}",
+        n_families=max(2, n_workbooks // 4),
+        min_copies=3,
+        max_copies=4,
+        n_singletons=max(1, n_workbooks // 10),
+        seed=99,
+    )
+    corpus = CorpusGenerator(seed=3).generate(spec)
+    return corpus.workbooks[:n_workbooks]
+
+
+def test_fig8_scalability(benchmark, encoder, workloads_timestamp, report_writer):
+    # A handful of online queries reused at every sweep point.
+    query_cases = workloads_timestamp["PGE"].cases[:5]
+
+    glove_encoder = SheetEncoder(
+        ModelConfig(features=FeatureConfig(embedder_name="glove", content_embedding_dim=32))
+    )
+    # reuse the trained weights: both configurations share the architecture
+    glove_encoder.coarse_model.load_state_dict(encoder.coarse_model.state_dict())
+    glove_encoder.fine_model.load_state_dict(encoder.fine_model.state_dict())
+
+    def run_sweep():
+        series = {"Auto-Formula (Sentence-BERT)": {}, "Auto-Formula (GloVe)": {}, "Mondrian": {}}
+        offline = {"Auto-Formula (Sentence-BERT)": {}, "Auto-Formula (GloVe)": {}, "Mondrian": {}}
+        for size in SWEEP_SIZES:
+            reference = _build_reference_pool(size)
+
+            for label, enc in [
+                ("Auto-Formula (Sentence-BERT)", encoder),
+                ("Auto-Formula (GloVe)", glove_encoder),
+            ]:
+                system = AutoFormula(enc, AutoFormulaConfig())
+                start = time.perf_counter()
+                system.fit(reference)
+                offline[label][size] = time.perf_counter() - start
+                start = time.perf_counter()
+                for case in query_cases:
+                    system.predict(case.target_sheet, case.target_cell)
+                series[label][size] = (time.perf_counter() - start) / len(query_cases)
+
+            mondrian = MondrianBaseline(MondrianConfig(fit_timeout_seconds=MONDRIAN_BUDGET_SECONDS))
+            start = time.perf_counter()
+            try:
+                mondrian.fit(reference)
+                offline["Mondrian"][size] = time.perf_counter() - start
+                start = time.perf_counter()
+                for case in query_cases:
+                    mondrian.predict(case.target_sheet, case.target_cell)
+                series["Mondrian"][size] = (time.perf_counter() - start) / len(query_cases)
+            except TimeoutError:
+                offline["Mondrian"][size] = float("inf")
+                series["Mondrian"][size] = float("inf")
+        return series, offline
+
+    series, offline = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = ["Figure 8: latency vs number of reference workbooks", ""]
+    lines.append("Online prediction latency (seconds per formula):")
+    header = f"{'method':32s} " + " ".join(f"{size:>10d}" for size in SWEEP_SIZES)
+    lines.append(header)
+    for method, values in series.items():
+        lines.append(
+            f"{method:32s} " + " ".join(f"{values[size]:>10.3f}" for size in SWEEP_SIZES)
+        )
+    lines.append("")
+    lines.append("Offline preprocessing time (seconds, whole reference set):")
+    lines.append(header)
+    for method, values in offline.items():
+        lines.append(
+            f"{method:32s} " + " ".join(f"{values[size]:>10.3f}" for size in SWEEP_SIZES)
+        )
+    report_writer("fig8_scalability", lines)
+
+    smallest, largest = SWEEP_SIZES[0], SWEEP_SIZES[-1]
+    # Shape: embedding-based search stays interactive and essentially flat as
+    # the reference corpus grows, while Mondrian's costs grow much faster
+    # with corpus size (the paper reports time-outs at 10K sheets).  At this
+    # scaled-down sweep the assertions compare growth *rates* rather than
+    # absolute values.
+    for label in ("Auto-Formula (Sentence-BERT)", "Auto-Formula (GloVe)"):
+        assert series[label][largest] < 2.0
+        assert series[label][largest] <= series[label][smallest] * 4.0 + 0.05
+
+    def growth(values) -> float:
+        if values[largest] == float("inf"):
+            return float("inf")
+        return values[largest] / max(values[smallest], 1e-6)
+
+    auto_online_growth = growth(series["Auto-Formula (Sentence-BERT)"])
+    auto_offline_growth = growth(offline["Auto-Formula (Sentence-BERT)"])
+    mondrian_online_growth = growth(series["Mondrian"])
+    mondrian_offline_growth = growth(offline["Mondrian"])
+    assert mondrian_online_growth > auto_online_growth
+    assert mondrian_offline_growth > auto_offline_growth

@@ -1,0 +1,40 @@
+"""Figure 9: sensitivity of Auto-Formula to the target sheet's row count."""
+
+from repro.evaluation import bucket_metrics
+from repro.formula.classify import ROW_BUCKETS
+
+from conftest import CORPUS_ORDER
+
+
+def test_fig9_sensitivity_to_sheet_size(benchmark, autoformula_runs_timestamp, report_writer):
+    def build_buckets():
+        pooled = [
+            result
+            for name in CORPUS_ORDER
+            for result in autoformula_runs_timestamp[name].results
+        ]
+        return pooled, bucket_metrics(pooled, by="rows")
+
+    pooled, buckets = benchmark.pedantic(build_buckets, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 9: Auto-Formula quality bucketized by target-sheet row count",
+        f"{'bucket':>12s} {'cases':>7s} {'recall':>8s} {'precision':>10s}",
+    ]
+    for bucket_name in ROW_BUCKETS:
+        metrics = buckets.get(bucket_name)
+        if metrics is None:
+            lines.append(f"{bucket_name:>12s} {0:>7d} {'-':>8s} {'-':>10s}")
+            continue
+        lines.append(
+            f"{bucket_name:>12s} {metrics.n_cases:>7d} {metrics.recall:8.3f} {metrics.precision:10.3f}"
+        )
+    report_writer("fig9_sheet_size", lines)
+
+    # Shape checks: several size buckets are populated, and the buckets where
+    # the sheet fills the view window keep high precision (the paper observes
+    # the lowest precision on the smallest sheets).
+    populated = [name for name in ROW_BUCKETS if name in buckets]
+    assert len(populated) >= 2
+    larger_buckets = [buckets[name] for name in populated if name != "r<40"]
+    assert any(metrics.precision >= 0.75 for metrics in larger_buckets if metrics.n_predicted)

@@ -1,0 +1,44 @@
+"""Table 1: statistics of the test data (workbooks, sheets, formulas, test formulas)."""
+
+from repro.corpus import corpus_statistics, sample_test_cases, split_corpus
+
+from conftest import CORPUS_ORDER
+
+
+def test_table1_statistics(benchmark, corpora, workloads_timestamp, workloads_random, report_writer):
+    def build_rows():
+        rows = {}
+        for name in CORPUS_ORDER:
+            corpus = corpora[name]
+            rows[name] = corpus_statistics(
+                corpus,
+                test_cases_random=workloads_random[name].cases,
+                test_cases_timestamp=workloads_timestamp[name].cases,
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+
+    header = f"{'':28s} {'All':>10s} " + " ".join(f"{name:>10s}" for name in CORPUS_ORDER)
+    lines = ["Table 1: statistics of test data (synthetic corpora)", header]
+    for key, label in [
+        ("workbooks", "# of workbooks"),
+        ("sheets", "# of sheets"),
+        ("formulas", "# of formulas"),
+        ("test_formulas_random", "# test formulas (random)"),
+        ("test_formulas_timestamp", "# test formulas (timestamp)"),
+    ]:
+        total = sum(rows[name][key] for name in CORPUS_ORDER)
+        lines.append(
+            f"{label:28s} {total:>10d} " + " ".join(f"{rows[name][key]:>10d}" for name in CORPUS_ORDER)
+        )
+    report_writer("table1_statistics", lines)
+
+    # Shape checks mirroring the paper: Enron is the largest corpus by
+    # workbook and sheet count (formula counts depend on per-template
+    # formula density and are not asserted).
+    for key in ("workbooks", "sheets"):
+        assert rows["Enron"][key] == max(rows[name][key] for name in CORPUS_ORDER)
+    for name in CORPUS_ORDER:
+        assert rows[name]["test_formulas_timestamp"] > 0
+        assert rows[name]["test_formulas_random"] > 0

@@ -1,0 +1,47 @@
+"""Table 2: quality comparison (timestamp split) of Auto-Formula, Mondrian and Weak Supervision."""
+
+from repro.baselines import MondrianBaseline, MondrianConfig, WeakSupervisionBaseline
+from repro.evaluation import run_method_on_cases
+
+from conftest import CORPUS_ORDER, format_quality_table
+
+#: Offline budget for Mondrian per corpus; exceeding it is reported as a
+#: time-out, reproducing the paper's "[Time Out]" entries on large corpora.
+MONDRIAN_FIT_BUDGET_SECONDS = 20.0
+
+
+def test_table2_quality_timestamp(benchmark, encoder, workloads_timestamp, autoformula_runs_timestamp, report_writer):
+    def evaluate_baselines():
+        rows = {"Auto-Formula": {}, "Mondrian": {}, "Weak Supervision": {}}
+        for name, run in autoformula_runs_timestamp.items():
+            rows["Auto-Formula"][name] = run.metrics.as_row()
+        for name in CORPUS_ORDER:
+            workload = workloads_timestamp[name]
+            mondrian = MondrianBaseline(MondrianConfig(fit_timeout_seconds=MONDRIAN_FIT_BUDGET_SECONDS))
+            try:
+                run = run_method_on_cases(
+                    mondrian, workload.reference_workbooks, workload.cases, name
+                )
+                rows["Mondrian"][name] = run.metrics.as_row()
+            except TimeoutError:
+                pass  # reported as a time-out in the table
+            weak = WeakSupervisionBaseline()
+            run = run_method_on_cases(weak, workload.reference_workbooks, workload.cases, name)
+            rows["Weak Supervision"][name] = run.metrics.as_row()
+        return rows
+
+    rows = benchmark.pedantic(evaluate_baselines, rounds=1, iterations=1)
+    lines = ["Table 2: quality comparison, timestamp split (R / P / F1 per corpus)"]
+    lines += format_quality_table(rows)
+    report_writer("table2_quality_timestamp", lines)
+
+    # Shape checks against the paper: Auto-Formula wins on F1 everywhere and
+    # keeps the highest precision; weak supervision trails it on recall.
+    for name in CORPUS_ORDER:
+        auto = rows["Auto-Formula"][name]
+        assert auto["precision"] >= 0.6
+        if name in rows["Mondrian"]:
+            assert auto["f1"] >= rows["Mondrian"][name]["f1"]
+        assert auto["recall"] >= rows["Weak Supervision"][name]["recall"]
+    recalls = {name: rows["Auto-Formula"][name]["recall"] for name in CORPUS_ORDER}
+    assert recalls["PGE"] == max(recalls.values())

@@ -1,0 +1,70 @@
+"""Table 4: the 24 LLM prompt-engineering variants plus their union."""
+
+from repro.baselines import SimulatedLLMBaseline, all_prompt_variants
+from repro.evaluation import evaluate_predictions, precision_recall_f1
+
+from conftest import CORPUS_ORDER
+
+#: Cap on test cases (pooled across corpora) so 24 variants stay fast.
+MAX_CASES = 120
+
+
+def _pooled_cases(workloads):
+    cases, references = [], {}
+    for name in CORPUS_ORDER:
+        workload = workloads[name]
+        references[name] = workload.reference_workbooks
+        for case in workload.cases:
+            cases.append((name, case))
+    return cases[:MAX_CASES], references
+
+
+def test_table4_llm_prompt_variants(benchmark, workloads_timestamp, report_writer):
+    pooled, references = _pooled_cases(workloads_timestamp)
+
+    def evaluate_variants():
+        rows = {}
+        union_hits = [False] * len(pooled)
+        for prompt in all_prompt_variants():
+            per_corpus_predictors = {}
+            for name in CORPUS_ORDER:
+                predictor = SimulatedLLMBaseline(prompt)
+                predictor.fit(references[name])
+                per_corpus_predictors[name] = predictor
+            predictions = [
+                per_corpus_predictors[name].predict(case.target_sheet, case.target_cell)
+                for name, case in pooled
+            ]
+            results = evaluate_predictions([case for __, case in pooled], predictions)
+            metrics = precision_recall_f1(results)
+            rows[prompt.label()] = metrics.as_row()
+            for index, result in enumerate(results):
+                union_hits[index] = union_hits[index] or result.hit
+        union_recall = sum(union_hits) / len(union_hits)
+        rows["GPT-union (best-of-24)"] = {
+            "recall": round(union_recall, 3),
+            "precision": round(union_recall, 3),
+            "f1": round(union_recall, 3),
+        }
+        return rows
+
+    rows = benchmark.pedantic(evaluate_variants, rounds=1, iterations=1)
+
+    lines = ["Table 4: simulated LLM results across 24 prompt variants", f"{'variant':44s} {'R':>7s} {'P':>7s} {'F1':>7s}"]
+    for label, metrics in rows.items():
+        lines.append(
+            f"{label:44s} {metrics['recall']:7.3f} {metrics['precision']:7.3f} {metrics['f1']:7.3f}"
+        )
+    report_writer("table4_llm_prompts", lines)
+
+    # Shape checks: RAG variants dominate non-RAG variants; the union of all
+    # prompts is at least as good as any single variant but still far from 1.
+    rag_f1 = max(metrics["f1"] for label, metrics in rows.items() if label.startswith("few_shot_rag"))
+    zero_f1 = max(metrics["f1"] for label, metrics in rows.items() if label.startswith("zero_shot"))
+    union = rows["GPT-union (best-of-24)"]["recall"]
+    best_single = max(
+        metrics["recall"] for label, metrics in rows.items() if label != "GPT-union (best-of-24)"
+    )
+    assert rag_f1 > zero_f1
+    assert union >= best_single
+    assert union < 0.9

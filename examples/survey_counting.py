@@ -1,0 +1,87 @@
+"""The paper's Figure 1 scenario, built by hand.
+
+A user maintains survey spreadsheets.  An older survey already contains a
+``COUNTIF`` summary; a new survey (with a different number of responses)
+needs the same logic in its own summary block.  Auto-Formula retrieves the
+old sheet as a similar-sheet, the old summary cell as a similar-region, and
+re-grounds the formula's parameters into the new sheet.
+
+Run with:  python examples/survey_counting.py
+"""
+
+from repro import (
+    AutoFormula,
+    AutoFormulaConfig,
+    CellAddress,
+    ModelConfig,
+    Sheet,
+    TrainingConfig,
+    Workbook,
+    build_training_universe,
+    generate_training_pairs,
+    train_models,
+)
+from repro.formula import FormulaEvaluator
+
+
+def build_survey(name: str, colors, n_responses: int, with_summary_formulas: bool) -> Sheet:
+    """A survey sheet: a response table plus a per-answer count summary."""
+    sheet = Sheet(name)
+    sheet.set("A1", "Color preference survey")
+    sheet.set("B6", "Respondent")
+    sheet.set("C6", "Answer")
+    sheet.set("D6", "Count")
+    for offset in range(n_responses):
+        sheet.set((6 + offset, 1), f"person {offset + 1}")
+        sheet.set((6 + offset, 2), colors[offset % len(colors)])
+    first_data_row = 8                      # A1 row number of the first response
+    last_data_row = 6 + n_responses         # A1 row number of the last response
+    summary_start = 6 + n_responses + 2     # 0-based row of the first summary line
+    for index, color in enumerate(colors):
+        row = summary_start + index
+        sheet.set((row, 2), color)
+        if with_summary_formulas:
+            sheet.set(
+                (row, 3),
+                formula=f"=COUNTIF(C{first_data_row - 1}:C{last_data_row},C{row + 1})",
+            )
+    FormulaEvaluator(sheet).recalculate()
+    return sheet
+
+
+def main() -> None:
+    colors = ["Brown", "Green", "Blue", "Red"]
+
+    print("Training representation models ...")
+    universe = build_training_universe(n_families=8, copies_per_family=3, n_singletons=6)
+    encoder, __ = train_models(
+        generate_training_pairs(universe), ModelConfig(), TrainingConfig(epochs=8)
+    )
+
+    # The organization's existing workbook: last quarter's survey, 42 responses.
+    reference = Workbook("survey_q1.xlsx")
+    reference.add_sheet(build_survey("Responses", colors, n_responses=42, with_summary_formulas=True))
+
+    # The new survey being edited: 31 responses, summary still empty.
+    target_sheet = build_survey("Responses", colors, n_responses=31, with_summary_formulas=False)
+
+    system = AutoFormula(encoder, AutoFormulaConfig(acceptance_threshold=2.0))
+    system.fit([reference])
+
+    print("\nRecommendations for the new survey's summary block:")
+    summary_start = 6 + 31 + 2
+    for index, color in enumerate(colors):
+        target_cell = CellAddress(summary_start + index, 3)
+        prediction = system.predict(target_sheet, target_cell)
+        if prediction is None:
+            print(f"  D{target_cell.row + 1} ({color}): no recommendation")
+            continue
+        value = FormulaEvaluator(target_sheet).evaluate_formula(prediction.formula)
+        print(
+            f"  D{target_cell.row + 1} ({color:5s}): {prediction.formula}"
+            f"   -> counts {int(value)} responses   (confidence {prediction.confidence:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so `pip install -e .` works on offline environments
+where the PEP 517 editable path is unavailable (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

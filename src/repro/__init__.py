@@ -1,0 +1,66 @@
+"""Auto-Formula reproduction: formula recommendation in spreadsheets.
+
+A from-scratch Python reproduction of *"Auto-Formula: Recommend Formulas in
+Spreadsheets using Contrastive Learning for Table Representations"*
+(SIGMOD 2024).  See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for the reproduced tables and figures.
+
+Typical usage::
+
+    from repro import (
+        build_training_universe, generate_training_pairs, train_models,
+        AutoFormula, AutoFormulaConfig,
+    )
+
+    universe = build_training_universe()
+    pairs = generate_training_pairs(universe)
+    encoder, history = train_models(pairs)
+
+    system = AutoFormula(encoder, AutoFormulaConfig())
+    system.fit(reference_workbooks)
+    prediction = system.predict(target_sheet, target_cell)
+"""
+
+from repro.sheet import Cell, CellAddress, CellStyle, RangeAddress, Sheet, Workbook
+from repro.formula import (
+    FormulaEvaluator,
+    extract_template,
+    instantiate_template,
+    parse_formula,
+)
+from repro.weaksup import generate_training_pairs
+from repro.models import ModelConfig, SheetEncoder, TrainingConfig, train_models
+from repro.core import AutoFormula, AutoFormulaConfig, FormulaPredictor, Prediction
+from repro.corpus import (
+    build_all_enterprise_corpora,
+    build_enterprise_corpus,
+    build_training_universe,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cell",
+    "CellAddress",
+    "CellStyle",
+    "RangeAddress",
+    "Sheet",
+    "Workbook",
+    "FormulaEvaluator",
+    "parse_formula",
+    "extract_template",
+    "instantiate_template",
+    "generate_training_pairs",
+    "ModelConfig",
+    "TrainingConfig",
+    "SheetEncoder",
+    "train_models",
+    "AutoFormula",
+    "AutoFormulaConfig",
+    "FormulaPredictor",
+    "Prediction",
+    "build_enterprise_corpus",
+    "build_all_enterprise_corpora",
+    "build_training_universe",
+    "__version__",
+]

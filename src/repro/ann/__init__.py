@@ -1,0 +1,31 @@
+"""Approximate nearest-neighbour search substrate (the Faiss stand-in).
+
+The online phase of Auto-Formula retrieves similar sheets and regions by
+nearest-neighbour search over dense vectors.  Three interchangeable indexes
+are provided behind a common interface:
+
+* :class:`ExactIndex` — brute-force exact search (the accuracy reference);
+* :class:`LSHIndex` — random-hyperplane locality-sensitive hashing with
+  multi-table probing;
+* :class:`IVFIndex` — inverted-file index with a k-means coarse quantizer
+  and configurable probe count (the closest analogue of ``IndexIVFFlat``).
+"""
+
+from repro.ann.base import SearchResult, VectorIndex
+from repro.ann.exact import ExactIndex
+from repro.ann.lsh import LSHIndex
+from repro.ann.ivf import IVFIndex
+
+__all__ = ["SearchResult", "VectorIndex", "ExactIndex", "LSHIndex", "IVFIndex", "create_index"]
+
+
+def create_index(kind: str, dimension: int, **kwargs) -> VectorIndex:
+    """Factory for index construction from configuration strings."""
+    key = kind.strip().lower()
+    if key in ("exact", "flat", "brute"):
+        return ExactIndex(dimension)
+    if key == "lsh":
+        return LSHIndex(dimension, **kwargs)
+    if key == "ivf":
+        return IVFIndex(dimension, **kwargs)
+    raise ValueError(f"unknown index kind {kind!r}")

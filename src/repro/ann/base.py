@@ -1,0 +1,90 @@
+"""Common vector-index interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """A single nearest-neighbour hit."""
+
+    key: Hashable
+    distance: float
+
+
+class VectorIndex(abc.ABC):
+    """Maps user-provided keys to vectors and answers k-NN queries.
+
+    Distances are squared Euclidean; since all embeddings produced by the
+    representation models are L2-normalized, the ranking is equivalent to a
+    cosine-similarity ranking.
+    """
+
+    def __init__(self, dimension: int) -> None:
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self._dimension = dimension
+        self._keys: List[Hashable] = []
+        self._vectors: List[np.ndarray] = []
+
+    # -------------------------------------------------------------- interface
+
+    @property
+    def dimension(self) -> int:
+        """Vector dimensionality accepted by the index."""
+        return self._dimension
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: Hashable, vector: np.ndarray) -> None:
+        """Add one vector under ``key``."""
+        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+        if vector.shape[0] != self._dimension:
+            raise ValueError(
+                f"vector has dimension {vector.shape[0]}, index expects {self._dimension}"
+            )
+        self._keys.append(key)
+        self._vectors.append(vector)
+        self._on_add(len(self._keys) - 1, vector)
+
+    def add_batch(self, keys: Sequence[Hashable], vectors: np.ndarray) -> None:
+        """Add many vectors at once."""
+        for key, vector in zip(keys, vectors):
+            self.add(key, vector)
+
+    def search(self, query: np.ndarray, k: int = 1) -> List[SearchResult]:
+        """Return (up to) the ``k`` nearest stored vectors to ``query``."""
+        if len(self._keys) == 0 or k <= 0:
+            return []
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        if query.shape[0] != self._dimension:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, index expects {self._dimension}"
+            )
+        candidate_positions = self._candidates(query, k)
+        if candidate_positions is None:
+            candidate_positions = np.arange(len(self._keys))
+        if candidate_positions.size == 0:
+            return []
+        matrix = np.stack([self._vectors[int(i)] for i in candidate_positions])
+        distances = np.sum((matrix - query) ** 2, axis=1)
+        order = np.argsort(distances)[:k]
+        return [
+            SearchResult(self._keys[int(candidate_positions[int(i)])], float(distances[int(i)]))
+            for i in order
+        ]
+
+    # --------------------------------------------------------------- subclass
+
+    def _on_add(self, position: int, vector: np.ndarray) -> None:
+        """Hook for subclasses to update auxiliary structures."""
+
+    @abc.abstractmethod
+    def _candidates(self, query: np.ndarray, k: int) -> Optional[np.ndarray]:
+        """Positions of candidate vectors to score (``None`` = score all)."""

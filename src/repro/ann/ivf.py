@@ -1,0 +1,90 @@
+"""Inverted-file (IVF) index with a k-means coarse quantizer."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ann.base import VectorIndex
+
+
+def _kmeans(vectors: np.ndarray, n_clusters: int, n_iterations: int, seed: int) -> np.ndarray:
+    """Plain Lloyd's k-means returning the centroid matrix."""
+    rng = np.random.default_rng(seed)
+    n = vectors.shape[0]
+    n_clusters = min(n_clusters, n)
+    centroids = vectors[rng.choice(n, size=n_clusters, replace=False)].copy()
+    for __ in range(n_iterations):
+        distances = (
+            np.sum(vectors**2, axis=1, keepdims=True)
+            - 2.0 * vectors @ centroids.T
+            + np.sum(centroids**2, axis=1)
+        )
+        assignment = np.argmin(distances, axis=1)
+        for cluster in range(n_clusters):
+            members = vectors[assignment == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return centroids
+
+
+class IVFIndex(VectorIndex):
+    """IVF index: cluster vectors, probe the nearest ``n_probe`` clusters.
+
+    The inverted lists are (re)built lazily on the first query after
+    additions, once at least ``2 * n_clusters`` vectors are present;
+    smaller indexes fall back to exact search.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        n_clusters: int = 16,
+        n_probe: int = 3,
+        kmeans_iterations: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dimension)
+        if n_clusters <= 0 or n_probe <= 0:
+            raise ValueError("n_clusters and n_probe must be positive")
+        self._n_clusters = n_clusters
+        self._n_probe = n_probe
+        self._kmeans_iterations = kmeans_iterations
+        self._seed = seed
+        self._centroids: Optional[np.ndarray] = None
+        self._lists: Dict[int, List[int]] = {}
+        self._trained_size = 0
+
+    def _on_add(self, position: int, vector: np.ndarray) -> None:
+        # Mark the index stale; it is rebuilt lazily at query time.
+        self._centroids = None
+
+    def _train(self) -> None:
+        matrix = np.stack(self._vectors)
+        self._centroids = _kmeans(matrix, self._n_clusters, self._kmeans_iterations, self._seed)
+        distances = (
+            np.sum(matrix**2, axis=1, keepdims=True)
+            - 2.0 * matrix @ self._centroids.T
+            + np.sum(self._centroids**2, axis=1)
+        )
+        assignment = np.argmin(distances, axis=1)
+        self._lists = {}
+        for position, cluster in enumerate(assignment):
+            self._lists.setdefault(int(cluster), []).append(position)
+        self._trained_size = len(self._vectors)
+
+    def _candidates(self, query: np.ndarray, k: int) -> Optional[np.ndarray]:
+        if len(self._vectors) < 2 * self._n_clusters:
+            return None
+        if self._centroids is None or self._trained_size != len(self._vectors):
+            self._train()
+        assert self._centroids is not None
+        distances = np.sum((self._centroids - query) ** 2, axis=1)
+        probe_order = np.argsort(distances)[: self._n_probe]
+        candidates: List[int] = []
+        for cluster in probe_order:
+            candidates.extend(self._lists.get(int(cluster), ()))
+        if len(candidates) < k:
+            return None
+        return np.asarray(candidates, dtype=np.int64)

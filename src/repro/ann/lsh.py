@@ -1,0 +1,57 @@
+"""Random-hyperplane LSH index with multi-table probing."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ann.base import VectorIndex
+
+
+class LSHIndex(VectorIndex):
+    """Locality-sensitive hashing via signed random projections.
+
+    Each of ``n_tables`` tables hashes a vector to the sign pattern of
+    ``n_bits`` random hyperplane projections; queries gather the union of
+    their buckets across tables and score only those candidates.  Falls back
+    to exact search when the candidate set is smaller than ``k`` so recall
+    never collapses on tiny corpora.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        n_tables: int = 8,
+        n_bits: int = 12,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dimension)
+        if n_tables <= 0 or n_bits <= 0:
+            raise ValueError("n_tables and n_bits must be positive")
+        rng = np.random.default_rng(seed)
+        self._n_tables = n_tables
+        self._n_bits = n_bits
+        self._hyperplanes = [
+            rng.standard_normal((dimension, n_bits)).astype(np.float32) for __ in range(n_tables)
+        ]
+        self._tables: List[Dict[Tuple[int, ...], List[int]]] = [
+            defaultdict(list) for __ in range(n_tables)
+        ]
+
+    def _signature(self, table: int, vector: np.ndarray) -> Tuple[int, ...]:
+        projection = vector @ self._hyperplanes[table]
+        return tuple((projection > 0).astype(np.int8).tolist())
+
+    def _on_add(self, position: int, vector: np.ndarray) -> None:
+        for table in range(self._n_tables):
+            self._tables[table][self._signature(table, vector)].append(position)
+
+    def _candidates(self, query: np.ndarray, k: int) -> Optional[np.ndarray]:
+        candidates: set = set()
+        for table in range(self._n_tables):
+            candidates.update(self._tables[table].get(self._signature(table, query), ()))
+        if len(candidates) < k:
+            return None  # fall back to exact scan
+        return np.fromiter(candidates, dtype=np.int64)

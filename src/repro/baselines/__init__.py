@@ -1,0 +1,37 @@
+"""Baseline formula-recommendation methods compared in the paper.
+
+* :class:`WeakSupervisionBaseline` — uses only the sheet-name hypothesis
+  test to find a reference sheet, then copies the nearest formula
+  (high precision, low recall);
+* :class:`MondrianBaseline` — graph-based layout matching with a
+  hand-crafted similarity and agglomerative clustering (moderate quality,
+  poor scalability);
+* :class:`SpreadsheetCoderBaseline` — predicts from the natural-language
+  context around the target cell only (works for short aggregation
+  formulas);
+* :class:`SimulatedLLMBaseline` — a prompt-configurable stand-in for the
+  GPT experiments (24 prompt variants; the RAG variants retrieve similar
+  regions with a GloVe-style embedder and copy formulas).
+
+All baselines implement the same :class:`~repro.core.FormulaPredictor`
+interface as Auto-Formula, so the evaluation harness treats them uniformly.
+"""
+
+from repro.baselines.weak_supervision import WeakSupervisionBaseline
+from repro.baselines.mondrian import MondrianBaseline, MondrianConfig
+from repro.baselines.spreadsheetcoder import SpreadsheetCoderBaseline
+from repro.baselines.llm import (
+    SimulatedLLMBaseline,
+    PromptConfig,
+    all_prompt_variants,
+)
+
+__all__ = [
+    "WeakSupervisionBaseline",
+    "MondrianBaseline",
+    "MondrianConfig",
+    "SpreadsheetCoderBaseline",
+    "SimulatedLLMBaseline",
+    "PromptConfig",
+    "all_prompt_variants",
+]

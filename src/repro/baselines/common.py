@@ -1,0 +1,109 @@
+"""Shared helpers for baseline predictors."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.formula.template import shift_formula
+from repro.formula.tokenizer import FormulaSyntaxError
+from repro.sheet.addressing import CellAddress
+from repro.sheet.sheet import Sheet
+
+
+def nearest_formula_cell(
+    sheet: Sheet, target: CellAddress
+) -> Optional[Tuple[CellAddress, str]]:
+    """The formula cell on ``sheet`` closest (Manhattan distance) to ``target``."""
+    best: Optional[Tuple[int, CellAddress, str]] = None
+    for address, cell in sheet.formula_cells():
+        distance = abs(address.row - target.row) + abs(address.col - target.col)
+        if best is None or distance < best[0]:
+            best = (distance, address, cell.formula or "")
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def copy_formula_to(
+    formula: str, source: CellAddress, destination: CellAddress
+) -> Optional[str]:
+    """Relocate a formula from ``source`` to ``destination``.
+
+    References are shifted by the displacement between the two cells — the
+    semantics of pasting a relative-reference formula into another cell.
+    Returns ``None`` when the shift would push a reference off the sheet or
+    the formula cannot be parsed.
+    """
+    try:
+        return shift_formula(
+            formula, destination.row - source.row, destination.col - source.col
+        )
+    except (FormulaSyntaxError, ValueError):
+        return None
+
+
+def numeric_run_above(sheet: Sheet, target: CellAddress) -> Optional[Tuple[CellAddress, CellAddress]]:
+    """The contiguous run of numeric cells directly above ``target`` in its column."""
+    row = target.row - 1
+    end_row: Optional[int] = None
+    while row >= 0:
+        cell = sheet.get((row, target.col))
+        if isinstance(cell.value, (int, float)) and not isinstance(cell.value, bool):
+            if end_row is None:
+                end_row = row
+            row -= 1
+            continue
+        break
+    if end_row is None:
+        return None
+    start_row = row + 1
+    return CellAddress(start_row, target.col), CellAddress(end_row, target.col)
+
+
+def numeric_run_left(sheet: Sheet, target: CellAddress) -> Optional[Tuple[CellAddress, CellAddress]]:
+    """The contiguous run of numeric cells directly left of ``target`` in its row."""
+    col = target.col - 1
+    end_col: Optional[int] = None
+    while col >= 0:
+        cell = sheet.get((target.row, col))
+        if isinstance(cell.value, (int, float)) and not isinstance(cell.value, bool):
+            if end_col is None:
+                end_col = col
+            col -= 1
+            continue
+        break
+    if end_col is None:
+        return None
+    start_col = col + 1
+    return CellAddress(target.row, start_col), CellAddress(target.row, end_col)
+
+
+def row_label(sheet: Sheet, target: CellAddress, max_distance: int = 6) -> str:
+    """The nearest text cell to the left of ``target`` in the same row."""
+    for col in range(target.col - 1, max(-1, target.col - 1 - max_distance), -1):
+        value = sheet.get((target.row, col)).value
+        if isinstance(value, str) and value.strip():
+            return value
+    return ""
+
+
+def column_header(sheet: Sheet, target: CellAddress, max_distance: int = 40) -> str:
+    """The nearest text cell above ``target`` in the same column."""
+    for row in range(target.row - 1, max(-1, target.row - 1 - max_distance), -1):
+        value = sheet.get((row, target.col)).value
+        if isinstance(value, str) and value.strip():
+            return value
+    return ""
+
+
+def surrounding_text(sheet: Sheet, target: CellAddress, radius: int = 3) -> List[str]:
+    """All text values in the square neighborhood of ``target``."""
+    texts: List[str] = []
+    for row in range(target.row - radius, target.row + radius + 1):
+        for col in range(target.col - radius, target.col + radius + 1):
+            if row < 0 or col < 0:
+                continue
+            value = sheet.get((row, col)).value
+            if isinstance(value, str) and value.strip():
+                texts.append(value)
+    return texts

@@ -1,0 +1,126 @@
+"""SpreadsheetCoder-style baseline: predict from natural-language context.
+
+SpreadsheetCoder (Chen et al., ICML'21) predicts a formula for a target
+cell from the surrounding natural-language context (headers and row
+labels).  Re-running the original model is not possible offline, so this
+baseline captures its defining behaviour: it maps context keywords to
+aggregation templates and grounds them on the contiguous data run adjacent
+to the target cell.  As the paper observes, this works for short
+single-function aggregations (``SUM``, ``AVERAGE``, ``COUNT``) driven by an
+explicit label, and fails on multi-function or multi-parameter formulas
+whose intent is not spelled out in nearby text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.baselines.common import (
+    column_header,
+    numeric_run_above,
+    numeric_run_left,
+    row_label,
+)
+from repro.core.interface import FormulaPredictor, Prediction
+from repro.sheet.addressing import CellAddress, RangeAddress
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+#: Keyword -> aggregation function mapping learned from NL context.
+_KEYWORD_FUNCTIONS: Dict[str, str] = {
+    "total": "SUM",
+    "totals": "SUM",
+    "sum": "SUM",
+    "grand": "SUM",
+    "subtotal": "SUM",
+    "average": "AVERAGE",
+    "avg": "AVERAGE",
+    "mean": "AVERAGE",
+    "count": "COUNTA",
+    "responses": "COUNTA",
+    "number": "COUNTA",
+    "max": "MAX",
+    "maximum": "MAX",
+    "highest": "MAX",
+    "min": "MIN",
+    "minimum": "MIN",
+    "lowest": "MIN",
+}
+
+
+class SpreadsheetCoderBaseline(FormulaPredictor):
+    """NL-context-only formula prediction."""
+
+    name = "SpreadsheetCoder"
+
+    def __init__(self) -> None:
+        self._keyword_priors: Dict[str, Dict[str, int]] = {}
+
+    # ---------------------------------------------------------------- offline
+
+    def fit(self, reference_workbooks: Sequence[Workbook]) -> None:
+        """Learn keyword -> function co-occurrence statistics from the corpus.
+
+        The statistics refine the built-in keyword table: for every formula
+        cell in the reference workbooks, the nearby row label / column
+        header words are associated with the outermost function of that
+        formula.
+        """
+        self._keyword_priors = {}
+        for workbook in reference_workbooks:
+            for sheet in workbook:
+                for address, cell in sheet.formula_cells():
+                    formula = (cell.formula or "").lstrip("=")
+                    function = formula.split("(", 1)[0].upper() if "(" in formula else ""
+                    if not function:
+                        continue
+                    context = f"{row_label(sheet, address)} {column_header(sheet, address)}"
+                    for word in context.lower().split():
+                        priors = self._keyword_priors.setdefault(word, {})
+                        priors[function] = priors.get(function, 0) + 1
+
+    # ----------------------------------------------------------------- online
+
+    def _context_function(self, sheet: Sheet, target: CellAddress) -> Optional[Tuple[str, float]]:
+        """Choose an aggregation function from the target's NL context."""
+        context = f"{row_label(sheet, target)} {column_header(sheet, target)}".lower()
+        words = [word.strip(",.:;()") for word in context.split()]
+        votes: Dict[str, float] = {}
+        for word in words:
+            if word in _KEYWORD_FUNCTIONS:
+                function = _KEYWORD_FUNCTIONS[word]
+                votes[function] = votes.get(function, 0.0) + 1.0
+            priors = self._keyword_priors.get(word)
+            if priors:
+                total = sum(priors.values())
+                for function, count in priors.items():
+                    votes[function] = votes.get(function, 0.0) + 0.5 * count / total
+        if not votes:
+            return None
+        function = max(votes, key=lambda key: votes[key])
+        strength = votes[function] / (1.0 + sum(votes.values()))
+        return function, min(1.0, 0.4 + strength)
+
+    def predict(self, target_sheet: Sheet, target_cell: CellAddress) -> Optional[Prediction]:
+        choice = self._context_function(target_sheet, target_cell)
+        if choice is None:
+            return None
+        function, confidence = choice
+        run = numeric_run_above(target_sheet, target_cell)
+        orientation = "column"
+        if run is None or (run[1].row - run[0].row) < 1:
+            run = numeric_run_left(target_sheet, target_cell)
+            orientation = "row"
+        if run is None:
+            return None
+        data_range = RangeAddress(run[0], run[1])
+        if function in ("COUNTA",):
+            # counts usually target the label column next to the numbers
+            formula = f"={function}({data_range.to_a1()})"
+        else:
+            formula = f"={function}({data_range.to_a1()})"
+        return Prediction(
+            formula=formula,
+            confidence=confidence,
+            details={"function": function, "orientation": orientation},
+        )

@@ -1,0 +1,83 @@
+"""Weak-supervision-only baseline.
+
+The simplest version of the paper's idea: two sheets are deemed similar
+only when their names pass the sheet-name hypothesis test (no learned
+representations).  The predicted formula is the formula on the matched
+reference sheet closest to the target cell, relocated to the target cell
+with copy/paste reference semantics.  High precision (sheet-name matches
+are rarely wrong) but low recall (most similar sheets are named
+differently, or carry common names like ``Sheet1``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines.common import copy_formula_to, nearest_formula_cell
+from repro.core.interface import FormulaPredictor, Prediction
+from repro.sheet.addressing import CellAddress
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+from repro.weaksup.name_statistics import SheetNameStatistics
+
+
+class WeakSupervisionBaseline(FormulaPredictor):
+    """Sheet-name hypothesis test + nearest-formula copy."""
+
+    name = "Weak Supervision"
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        self.alpha = alpha
+        self._statistics = SheetNameStatistics()
+        self._reference_sheets: List[Tuple[str, Sheet]] = []
+
+    def fit(self, reference_workbooks: Sequence[Workbook]) -> None:
+        self._statistics = SheetNameStatistics.from_workbooks(reference_workbooks)
+        self._reference_sheets = [
+            (workbook.name, sheet) for workbook in reference_workbooks for sheet in workbook
+        ]
+
+    def _matching_sheets(self, target_sheet: Sheet) -> List[Tuple[str, Sheet]]:
+        """Reference sheets whose name matches confidently (p-value <= alpha)."""
+        name = target_sheet.name.strip().lower()
+        if not name:
+            return []
+        p_value = self._statistics.probability(target_sheet.name)
+        if p_value > self.alpha:
+            return []
+        return [
+            (workbook_name, sheet)
+            for workbook_name, sheet in self._reference_sheets
+            if sheet.name.strip().lower() == name
+        ]
+
+    def predict(self, target_sheet: Sheet, target_cell: CellAddress) -> Optional[Prediction]:
+        matches = self._matching_sheets(target_sheet)
+        best: Optional[Tuple[int, str, Sheet, CellAddress, str]] = None
+        for workbook_name, sheet in matches:
+            found = nearest_formula_cell(sheet, target_cell)
+            if found is None:
+                continue
+            address, formula = found
+            distance = abs(address.row - target_cell.row) + abs(address.col - target_cell.col)
+            if best is None or distance < best[0]:
+                best = (distance, workbook_name, sheet, address, formula)
+        if best is None:
+            return None
+        distance, workbook_name, sheet, address, formula = best
+        relocated = copy_formula_to(formula, address, target_cell)
+        if relocated is None:
+            return None
+        p_value = self._statistics.probability(target_sheet.name)
+        confidence = max(0.0, min(1.0, (1.0 - p_value) / (1.0 + distance)))
+        return Prediction(
+            formula=relocated,
+            confidence=confidence,
+            details={
+                "reference_workbook": workbook_name,
+                "reference_sheet": sheet.name,
+                "reference_cell": address.to_a1(),
+                "reference_formula": formula,
+                "name_p_value": p_value,
+            },
+        )

@@ -1,0 +1,19 @@
+"""The Auto-Formula system: the paper's primary contribution.
+
+:class:`AutoFormula` wires together the trained representation models, the
+ANN indexes and the formula-template machinery into the three online steps
+of Section 4.1 / Algorithm 2:
+
+* **S1** — search reference sheets by coarse similar-sheet retrieval;
+* **S2** — search a reference formula by fine similar-region retrieval
+  among formula cells of the retrieved sheets;
+* **S3** — re-ground each parameter of the reference formula into the
+  target sheet by another similar-region search around its translated
+  location.
+"""
+
+from repro.core.interface import FormulaPredictor, Prediction
+from repro.core.config import AutoFormulaConfig
+from repro.core.pipeline import AutoFormula
+
+__all__ = ["FormulaPredictor", "Prediction", "AutoFormulaConfig", "AutoFormula"]

@@ -1,0 +1,47 @@
+"""The common predictor interface shared by Auto-Formula and all baselines."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.sheet.addressing import CellAddress
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+
+@dataclass
+class Prediction:
+    """A recommended formula for a target cell.
+
+    ``confidence`` is in [0, 1]; the evaluation harness sweeps thresholds on
+    it to draw PR curves.  ``details`` carries method-specific provenance
+    (reference sheet/cell, prompt variant, ...) for analysis and debugging.
+    """
+
+    formula: str
+    confidence: float = 1.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class FormulaPredictor(abc.ABC):
+    """A formula-recommendation method.
+
+    Every method is used the same way by the evaluation harness: ``fit`` it
+    once on the organization's reference workbooks (the offline phase), then
+    call ``predict`` per target cell (the online phase).  ``predict`` may
+    return ``None`` to abstain; abstentions lower recall but not precision,
+    matching the paper's metric definitions.
+    """
+
+    #: Human-readable method name used in result tables.
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def fit(self, reference_workbooks: Sequence[Workbook]) -> None:
+        """Index / learn from the organization's existing workbooks."""
+
+    @abc.abstractmethod
+    def predict(self, target_sheet: Sheet, target_cell: CellAddress) -> Optional[Prediction]:
+        """Recommend a formula for ``target_cell`` on ``target_sheet``."""

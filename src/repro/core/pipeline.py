@@ -1,0 +1,316 @@
+"""The end-to-end Auto-Formula predictor (Algorithm 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ann import create_index
+from repro.core.config import AutoFormulaConfig
+from repro.core.interface import FormulaPredictor, Prediction
+from repro.formula.ast_nodes import CellReference, RangeReference
+from repro.formula.parser import parse_formula
+from repro.formula.template import formula_references, instantiate_template
+from repro.formula.tokenizer import FormulaSyntaxError
+from repro.models.encoder import SheetEncoder
+from repro.sheet.addressing import CellAddress, RangeAddress
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+
+@dataclass
+class _ReferenceFormula:
+    """A formula cell on an indexed reference sheet."""
+
+    sheet_position: int
+    address: CellAddress
+    formula: str
+    embedding: np.ndarray
+
+
+@dataclass
+class _ReferenceSheet:
+    """One indexed reference sheet with its formula-region embeddings."""
+
+    workbook_name: str
+    sheet: Sheet
+    formulas: List[_ReferenceFormula]
+
+
+class AutoFormula(FormulaPredictor):
+    """Formula recommendation by similar-sheet / similar-region retrieval."""
+
+    name = "Auto-Formula"
+
+    def __init__(
+        self,
+        encoder: SheetEncoder,
+        config: Optional[AutoFormulaConfig] = None,
+    ) -> None:
+        self.encoder = encoder
+        self.config = config or AutoFormulaConfig()
+        self._reference_sheets: List[_ReferenceSheet] = []
+        self._sheet_index = None
+        #: Fine-embedding cache for target sheets, keyed by (sheet id, row, col).
+        self._target_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._target_cache_sheets: Dict[int, Sheet] = {}
+
+    # --------------------------------------------------------------- encoding
+
+    def _sheet_vector(self, sheet: Sheet) -> np.ndarray:
+        """Sheet-level embedding (coarse model, unless fine-only ablation)."""
+        window = self.encoder.featurizer.featurize_sheet(sheet)[None, ...]
+        if self.config.granularity == "fine_only":
+            return self.encoder.fine_model.forward(window)[0]
+        return self.encoder.coarse_model.forward(window)[0]
+
+    def _region_vectors(
+        self, sheet: Sheet, centers: Sequence[CellAddress], blank_center: bool = False
+    ) -> np.ndarray:
+        """Region-level embeddings (fine model, unless coarse-only ablation).
+
+        ``blank_center`` masks the center cell of every window; the S2
+        formula-region comparison uses this so that an already-filled
+        reference cell and a still-empty target cell embed comparably.
+        """
+        if not centers:
+            dim = (
+                self.encoder.coarse_dimension
+                if self.config.granularity == "coarse_only"
+                else self.encoder.fine_dimension
+            )
+            return np.zeros((0, dim), dtype=np.float32)
+        windows = self.encoder.featurizer.featurize_regions(
+            sheet, list(centers), blank_center=blank_center
+        )
+        if self.config.granularity == "coarse_only":
+            return self.encoder.coarse_model.forward(windows)
+        return self.encoder.fine_model.forward(windows)
+
+    def _target_region_vectors(self, sheet: Sheet, centers: Sequence[CellAddress]) -> np.ndarray:
+        """Region embeddings on a target sheet, memoized per cell."""
+        missing = [
+            center
+            for center in centers
+            if (id(sheet), center.row, center.col) not in self._target_cache
+        ]
+        if missing:
+            vectors = self._region_vectors(sheet, missing)
+            for center, vector in zip(missing, vectors):
+                self._target_cache[(id(sheet), center.row, center.col)] = vector
+            self._target_cache_sheets[id(sheet)] = sheet
+        return np.stack(
+            [self._target_cache[(id(sheet), center.row, center.col)] for center in centers]
+        )
+
+    # ---------------------------------------------------------------- offline
+
+    def fit(self, reference_workbooks: Sequence[Union[Workbook, Sheet]]) -> None:
+        """Offline phase: embed and index every reference sheet and formula."""
+        self._reference_sheets = []
+        self._target_cache.clear()
+        self._target_cache_sheets.clear()
+
+        sheets: List[Tuple[str, Sheet]] = []
+        for item in reference_workbooks:
+            if isinstance(item, Sheet):
+                sheets.append(("<sheet>", item))
+            else:
+                sheets.extend((item.name, sheet) for sheet in item)
+
+        dimension = (
+            self.encoder.fine_dimension
+            if self.config.granularity == "fine_only"
+            else self.encoder.coarse_dimension
+        )
+        self._sheet_index = create_index(self.config.sheet_index_kind, dimension)
+
+        for position, (workbook_name, sheet) in enumerate(sheets):
+            formula_cells = sheet.formula_cells()
+            centers = [address for address, __ in formula_cells]
+            embeddings = self._region_vectors(sheet, centers, blank_center=True)
+            formulas = [
+                _ReferenceFormula(position, address, cell.formula or "", embeddings[index])
+                for index, (address, cell) in enumerate(formula_cells)
+            ]
+            self._reference_sheets.append(
+                _ReferenceSheet(workbook_name=workbook_name, sheet=sheet, formulas=formulas)
+            )
+            self._sheet_index.add(position, self._sheet_vector(sheet))
+
+    @property
+    def n_reference_sheets(self) -> int:
+        """Number of indexed reference sheets."""
+        return len(self._reference_sheets)
+
+    @property
+    def n_reference_formulas(self) -> int:
+        """Number of indexed reference formulas."""
+        return sum(len(reference.formulas) for reference in self._reference_sheets)
+
+    # ----------------------------------------------------------------- online
+
+    def predict(self, target_sheet: Sheet, target_cell: CellAddress) -> Optional[Prediction]:
+        """Run S1 -> S2 -> S3 and return a prediction (or ``None`` to abstain)."""
+        if not self._reference_sheets or self._sheet_index is None or len(self._sheet_index) == 0:
+            return None
+
+        # S1: similar-sheet search over the coarse index.
+        sheet_hits = self._sheet_index.search(
+            self._sheet_vector(target_sheet), k=self.config.top_k_sheets
+        )
+        candidate_sheets = [self._reference_sheets[int(hit.key)] for hit in sheet_hits]
+
+        # S2: similar-region search among the candidate sheets' formula cells.
+        target_vector = self._region_vectors(target_sheet, [target_cell], blank_center=True)[0]
+        best: Optional[Tuple[float, _ReferenceSheet, _ReferenceFormula]] = None
+        for reference in candidate_sheets:
+            for formula in reference.formulas:
+                distance = float(np.sum((formula.embedding - target_vector) ** 2))
+                if best is None or distance < best[0]:
+                    best = (distance, reference, formula)
+        if best is None:
+            return None
+        distance, reference, reference_formula = best
+        if distance > self.config.acceptance_threshold:
+            return None
+        confidence = max(0.0, 1.0 - distance / 4.0)
+
+        # S3: re-ground each parameter of the reference formula.
+        predicted = self._adapt_formula(
+            reference.sheet, reference_formula, target_sheet, target_cell
+        )
+        if predicted is None:
+            return None
+        return Prediction(
+            formula=predicted,
+            confidence=confidence,
+            details={
+                "reference_workbook": reference.workbook_name,
+                "reference_sheet": reference.sheet.name,
+                "reference_cell": reference_formula.address.to_a1(),
+                "reference_formula": reference_formula.formula,
+                "s2_distance": distance,
+            },
+        )
+
+    # --------------------------------------------------------------------- S3
+
+    def _candidate_addresses(
+        self, target_sheet: Sheet, center_row: int, center_col: int
+    ) -> List[CellAddress]:
+        """The +/- neighborhood around a translated parameter location."""
+        rows = self.config.neighborhood_rows
+        cols = self.config.neighborhood_cols
+        max_row = max(target_sheet.n_rows - 1, 0)
+        max_col = max(target_sheet.n_cols - 1, 0)
+        candidates: List[CellAddress] = []
+        for row in range(center_row - rows, center_row + rows + 1):
+            if row < 0 or row > max_row:
+                continue
+            for col in range(center_col - cols, center_col + cols + 1):
+                if col < 0 or col > max_col:
+                    continue
+                candidates.append(CellAddress(row, col))
+        return candidates
+
+    def _map_cell(
+        self,
+        reference_sheet: Sheet,
+        reference_cell: CellAddress,
+        reference_formula_cell: CellAddress,
+        target_sheet: Sheet,
+        target_cell: CellAddress,
+    ) -> CellAddress:
+        """Map one reference parameter cell into the target sheet.
+
+        The primary anchor translates the parameter by the displacement
+        between the reference formula cell and the target cell (Algorithm 2
+        lines 24-25).  A secondary anchor keeps the parameter's absolute
+        location, which recovers parameters tied to the *top* of a table
+        (range starts just under a header) when the two sheets differ in row
+        count by more than the search neighborhood.  Among all neighborhood
+        candidates of both anchors, the cell whose fine-grained region is
+        most similar to the region around the reference parameter wins; a
+        small locality penalty breaks embedding ties in favour of the
+        nearest anchor.
+        """
+        row_delta = target_cell.row - reference_formula_cell.row
+        col_delta = target_cell.col - reference_formula_cell.col
+        anchors = [
+            (reference_cell.row + row_delta, reference_cell.col + col_delta),
+            (reference_cell.row, reference_cell.col),
+        ]
+        candidates: List[CellAddress] = []
+        seen = set()
+        for anchor_row, anchor_col in anchors:
+            for candidate in self._candidate_addresses(target_sheet, anchor_row, anchor_col):
+                key = (candidate.row, candidate.col)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(candidate)
+        if not candidates:
+            return CellAddress(max(anchors[0][0], 0), max(anchors[0][1], 0))
+        reference_vector = self._region_vectors(reference_sheet, [reference_cell])[0]
+        candidate_vectors = self._target_region_vectors(target_sheet, candidates)
+        distances = np.sum((candidate_vectors - reference_vector) ** 2, axis=1)
+        penalties = np.array(
+            [
+                min(
+                    abs(candidate.row - anchor_row) + abs(candidate.col - anchor_col)
+                    for anchor_row, anchor_col in anchors
+                )
+                for candidate in candidates
+            ],
+            dtype=np.float32,
+        )
+        scores = distances + self.config.locality_penalty * penalties
+        return candidates[int(np.argmin(scores))]
+
+    def _adapt_formula(
+        self,
+        reference_sheet: Sheet,
+        reference_formula: _ReferenceFormula,
+        target_sheet: Sheet,
+        target_cell: CellAddress,
+    ) -> Optional[str]:
+        """Instantiate the reference template with re-grounded parameters."""
+        try:
+            ast = parse_formula(reference_formula.formula)
+        except FormulaSyntaxError:
+            return None
+        references = formula_references(ast)
+        mapped: List[Union[CellAddress, RangeAddress]] = []
+        for reference in references:
+            if isinstance(reference, RangeAddress):
+                start = self._map_cell(
+                    reference_sheet,
+                    reference.start,
+                    reference_formula.address,
+                    target_sheet,
+                    target_cell,
+                )
+                end = self._map_cell(
+                    reference_sheet,
+                    reference.end,
+                    reference_formula.address,
+                    target_sheet,
+                    target_cell,
+                )
+                mapped.append(RangeAddress(start, end))
+            else:
+                mapped.append(
+                    self._map_cell(
+                        reference_sheet,
+                        reference,
+                        reference_formula.address,
+                        target_sheet,
+                        target_cell,
+                    )
+                )
+        try:
+            return instantiate_template(ast, mapped)
+        except ValueError:
+            return None

@@ -1,0 +1,65 @@
+"""Synthetic spreadsheet corpus generation.
+
+The paper trains on 160K crawled spreadsheets and evaluates on spreadsheets
+held out from four enterprises (Enron, PGE, TI, Cisco).  Neither corpus can
+be redistributed here, so this package generates synthetic *organizational*
+corpora with the statistical properties the method depends on:
+
+* workbooks come in **families** produced from shared templates — same sheet
+  names, same styling, same formula logic — but with different data values
+  and different numbers of rows/columns (the "similar sheets" of Section 3.1);
+* a configurable fraction of workbooks are **singletons** with unique
+  layouts, which bounds achievable recall exactly as the paper observes for
+  the Cisco corpus;
+* common sheet names like ``Sheet1`` appear frequently so the
+  weak-supervision hypothesis test has realistic name statistics;
+* workbooks carry last-modified timestamps so both the *random* and the
+  *timestamp* test splits can be reproduced.
+"""
+
+from repro.corpus.templates import (
+    WorkbookTemplate,
+    SurveyTemplate,
+    FinancialStatementTemplate,
+    SalesReportTemplate,
+    InventoryTemplate,
+    BudgetTemplate,
+    TimesheetTemplate,
+    CustomerListTemplate,
+    LargeLedgerTemplate,
+    SingletonTemplate,
+    ALL_TEMPLATE_CLASSES,
+)
+from repro.corpus.generator import CorpusGenerator, EnterpriseCorpus, CorpusSpec
+from repro.corpus.corpora import (
+    ENTERPRISE_SPECS,
+    build_enterprise_corpus,
+    build_all_enterprise_corpora,
+    build_training_universe,
+)
+from repro.corpus.testcases import TestCase, sample_test_cases, split_corpus, corpus_statistics
+
+__all__ = [
+    "WorkbookTemplate",
+    "SurveyTemplate",
+    "FinancialStatementTemplate",
+    "SalesReportTemplate",
+    "InventoryTemplate",
+    "BudgetTemplate",
+    "TimesheetTemplate",
+    "CustomerListTemplate",
+    "LargeLedgerTemplate",
+    "SingletonTemplate",
+    "ALL_TEMPLATE_CLASSES",
+    "CorpusGenerator",
+    "EnterpriseCorpus",
+    "CorpusSpec",
+    "ENTERPRISE_SPECS",
+    "build_enterprise_corpus",
+    "build_all_enterprise_corpora",
+    "build_training_universe",
+    "TestCase",
+    "sample_test_cases",
+    "split_corpus",
+    "corpus_statistics",
+]

@@ -1,0 +1,128 @@
+"""Presets for the four synthetic enterprise corpora and the training universe.
+
+The four specs differ mainly in size and in the share of "singleton"
+workbooks with no similar counterpart, reproducing the recall profile the
+paper reports: PGE (highly templated, recall ~0.9), TI (moderate), Cisco
+(many singletons, recall ~0.35) and Enron (large, moderate-low recall).
+Absolute sizes are scaled down so NumPy-based experiments finish quickly; a
+``scale`` factor multiplies family and singleton counts for larger runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.corpus.generator import CorpusGenerator, CorpusSpec, EnterpriseCorpus
+from repro.corpus.templates import (
+    BudgetTemplate,
+    CustomerListTemplate,
+    FinancialStatementTemplate,
+    InventoryTemplate,
+    SalesReportTemplate,
+    SurveyTemplate,
+    TimesheetTemplate,
+)
+from repro.sheet.workbook import Workbook
+
+#: The four enterprise domains evaluated in the paper.
+ENTERPRISE_NAMES = ("PGE", "Cisco", "TI", "Enron")
+
+ENTERPRISE_SPECS: Dict[str, CorpusSpec] = {
+    # PGE: small corpus, almost everything comes from recurring report
+    # families -> similar sheets nearly always exist (high recall).
+    "PGE": CorpusSpec(
+        name="PGE",
+        n_families=6,
+        min_copies=4,
+        max_copies=7,
+        n_singletons=2,
+        seed=101,
+        template_classes=(
+            FinancialStatementTemplate,
+            SurveyTemplate,
+            BudgetTemplate,
+            SalesReportTemplate,
+            TimesheetTemplate,
+            InventoryTemplate,
+        ),
+    ),
+    # Cisco: dominated by one-off public-facing sheets -> many singletons,
+    # low ceiling on recall.
+    "Cisco": CorpusSpec(
+        name="Cisco",
+        n_families=4,
+        min_copies=2,
+        max_copies=3,
+        n_singletons=14,
+        seed=202,
+        template_classes=(
+            SalesReportTemplate,
+            InventoryTemplate,
+            CustomerListTemplate,
+            SurveyTemplate,
+        ),
+    ),
+    # TI: mixed corpus, moderate family coverage.
+    "TI": CorpusSpec(
+        name="TI",
+        n_families=6,
+        min_copies=3,
+        max_copies=5,
+        n_singletons=8,
+        seed=303,
+        template_classes=(
+            InventoryTemplate,
+            BudgetTemplate,
+            SalesReportTemplate,
+            CustomerListTemplate,
+            FinancialStatementTemplate,
+            TimesheetTemplate,
+        ),
+    ),
+    # Enron: the largest corpus, broad mix of families and ad-hoc sheets.
+    "Enron": CorpusSpec(
+        name="Enron",
+        n_families=9,
+        min_copies=3,
+        max_copies=5,
+        n_singletons=16,
+        seed=404,
+    ),
+}
+
+
+def build_enterprise_corpus(name: str, scale: float = 1.0, seed: int = 0) -> EnterpriseCorpus:
+    """Build one of the four named corpora, optionally scaled up/down."""
+    if name not in ENTERPRISE_SPECS:
+        raise KeyError(f"unknown corpus {name!r}; expected one of {sorted(ENTERPRISE_SPECS)}")
+    base = ENTERPRISE_SPECS[name]
+    spec = CorpusSpec(
+        name=base.name,
+        n_families=max(1, round(base.n_families * scale)),
+        min_copies=base.min_copies,
+        max_copies=base.max_copies,
+        n_singletons=round(base.n_singletons * scale),
+        seed=base.seed,
+        template_classes=base.template_classes,
+        timestamp_range=base.timestamp_range,
+    )
+    return CorpusGenerator(seed=seed).generate(spec)
+
+
+def build_all_enterprise_corpora(scale: float = 1.0, seed: int = 0) -> Dict[str, EnterpriseCorpus]:
+    """Build all four corpora keyed by name."""
+    return {name: build_enterprise_corpus(name, scale=scale, seed=seed) for name in ENTERPRISE_NAMES}
+
+
+def build_training_universe(
+    n_families: int = 10,
+    copies_per_family: int = 3,
+    n_singletons: int = 8,
+    seed: int = 7,
+) -> List[Workbook]:
+    """Build the training universe used to fit the representation models."""
+    return CorpusGenerator(seed=seed).generate_training_universe(
+        n_families=n_families,
+        copies_per_family=copies_per_family,
+        n_singletons=n_singletons,
+    )

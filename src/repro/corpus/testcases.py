@@ -1,0 +1,144 @@
+"""Test-case sampling and corpus splits (Section 5.1).
+
+A *test case* is one formula-recommendation problem: a target sheet (with
+the target cell's formula and cached value removed), the target cell, and
+the ground-truth formula.  Corpora are split into test and reference sets
+either randomly or by last-modified timestamp, and at most ten formulas are
+sampled per test sheet to avoid over-representation, following the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.generator import EnterpriseCorpus
+from repro.formula.template import normalize_formula
+from repro.formula.tokenizer import FormulaSyntaxError
+from repro.sheet.addressing import CellAddress
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+
+@dataclass
+class TestCase:
+    """One formula-recommendation problem with its ground truth."""
+
+    #: Not a pytest test class (keeps pytest collection quiet when imported).
+    __test__ = False
+
+    corpus_name: str
+    workbook_name: str
+    sheet_name: str
+    #: The target sheet as the predictor sees it (target formula removed).
+    target_sheet: Sheet
+    target_cell: CellAddress
+    #: Normalized ground-truth formula text (e.g. ``"=COUNTIF(C7:C37,C41)"``).
+    ground_truth: str
+    #: Number of rows of the original target sheet (Figure 9 bucketing).
+    n_rows: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TestCase({self.corpus_name}/{self.workbook_name}/{self.sheet_name}"
+            f"!{self.target_cell.to_a1()} -> {self.ground_truth})"
+        )
+
+
+def split_corpus(
+    corpus: EnterpriseCorpus,
+    test_fraction: float = 0.1,
+    method: str = "timestamp",
+    seed: int = 0,
+) -> Tuple[List[Workbook], List[Workbook]]:
+    """Split a corpus into ``(test_workbooks, reference_workbooks)``.
+
+    ``method="timestamp"`` holds out the most recently modified fraction
+    (the realistic setting the paper reports by default);
+    ``method="random"`` holds out a uniform sample.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    workbooks = list(corpus.workbooks)
+    n_test = max(1, round(len(workbooks) * test_fraction))
+    if method == "timestamp":
+        ordered = sorted(workbooks, key=lambda workbook: workbook.last_modified)
+        reference = ordered[:-n_test]
+        test = ordered[-n_test:]
+    elif method == "random":
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(workbooks))
+        test_indices = set(int(i) for i in order[:n_test])
+        test = [workbooks[i] for i in range(len(workbooks)) if i in test_indices]
+        reference = [workbooks[i] for i in range(len(workbooks)) if i not in test_indices]
+    else:
+        raise ValueError(f"unknown split method {method!r}")
+    if not reference:
+        # Degenerate corpora (tiny scale factors): keep at least one
+        # reference workbook so prediction has something to search.
+        reference = [test.pop()] if len(test) > 1 else list(test)
+    return test, reference
+
+
+def _blank_target(sheet: Sheet, target: CellAddress) -> Sheet:
+    """Copy the sheet with the target cell's formula and value removed."""
+    copy = sheet.copy()
+    cell = copy.get(target)
+    copy.set(target, value=None, formula=None, style=cell.style)
+    return copy
+
+
+def sample_test_cases(
+    corpus_name: str,
+    test_workbooks: Sequence[Workbook],
+    max_per_sheet: int = 10,
+    seed: int = 0,
+) -> List[TestCase]:
+    """Sample formula test cases from the held-out workbooks."""
+    rng = np.random.default_rng(seed)
+    cases: List[TestCase] = []
+    for workbook in test_workbooks:
+        for sheet in workbook:
+            formula_cells = sheet.formula_cells()
+            if not formula_cells:
+                continue
+            if len(formula_cells) > max_per_sheet:
+                chosen = rng.choice(len(formula_cells), size=max_per_sheet, replace=False)
+                formula_cells = [formula_cells[int(i)] for i in sorted(chosen)]
+            for address, cell in formula_cells:
+                try:
+                    ground_truth = normalize_formula(cell.formula or "")
+                except FormulaSyntaxError:
+                    continue
+                cases.append(
+                    TestCase(
+                        corpus_name=corpus_name,
+                        workbook_name=workbook.name,
+                        sheet_name=sheet.name,
+                        target_sheet=_blank_target(sheet, address),
+                        target_cell=address,
+                        ground_truth=ground_truth,
+                        n_rows=sheet.n_rows,
+                    )
+                )
+    return cases
+
+
+def corpus_statistics(
+    corpus: EnterpriseCorpus,
+    test_cases_random: Optional[Sequence[TestCase]] = None,
+    test_cases_timestamp: Optional[Sequence[TestCase]] = None,
+) -> Dict[str, int]:
+    """The Table 1 statistics row for one corpus."""
+    stats = {
+        "workbooks": len(corpus),
+        "sheets": corpus.n_sheets(),
+        "formulas": corpus.n_formulas(),
+    }
+    if test_cases_random is not None:
+        stats["test_formulas_random"] = len(test_cases_random)
+    if test_cases_timestamp is not None:
+        stats["test_formulas_timestamp"] = len(test_cases_timestamp)
+    return stats

@@ -1,0 +1,102 @@
+"""Pools of realistic values used by the synthetic workbook templates."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+FIRST_NAMES: Sequence[str] = (
+    "Alice", "Bob", "Carol", "David", "Elena", "Frank", "Grace", "Hassan",
+    "Irene", "James", "Kavya", "Liam", "Maria", "Noah", "Olivia", "Pablo",
+    "Qing", "Rosa", "Samir", "Tara", "Uma", "Victor", "Wendy", "Xavier",
+    "Yara", "Zoe",
+)
+
+LAST_NAMES: Sequence[str] = (
+    "Smith", "Johnson", "Lee", "Garcia", "Chen", "Patel", "Brown", "Davis",
+    "Martinez", "Nguyen", "Kim", "Lopez", "Wilson", "Anderson", "Thomas",
+    "Moore", "Jackson", "White", "Harris", "Clark",
+)
+
+COLORS: Sequence[str] = ("Brown", "Green", "Blue", "Red", "Yellow", "Purple")
+
+REGIONS: Sequence[str] = (
+    "North", "South", "East", "West", "Central", "Northeast", "Southwest",
+)
+
+PRODUCTS: Sequence[str] = (
+    "Router X100", "Switch S24", "Firewall F5", "Access Point A7",
+    "Cable Cat6", "Server R740", "Laptop L13", "Monitor M27",
+    "Dock D9", "Headset H2", "Camera C4", "Phone P11",
+)
+
+DEPARTMENTS: Sequence[str] = (
+    "Engineering", "Sales", "Marketing", "Finance", "Operations",
+    "Human Resources", "Legal", "Support",
+)
+
+LINE_ITEMS: Sequence[str] = (
+    "Product Revenue", "Service Revenue", "License Revenue",
+    "Cost of Goods Sold", "Research & Development", "Sales & Marketing",
+    "General & Administrative", "Depreciation", "Interest Expense",
+    "Other Income", "Tax Provision",
+)
+
+EXPENSE_CATEGORIES: Sequence[str] = (
+    "Travel", "Equipment", "Software", "Facilities", "Training",
+    "Consulting", "Supplies", "Utilities", "Insurance", "Maintenance",
+)
+
+MONTHS: Sequence[str] = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+QUARTERS: Sequence[str] = ("Q1", "Q2", "Q3", "Q4")
+
+CITIES: Sequence[str] = (
+    "Austin", "Boston", "Chicago", "Denver", "Houston", "Miami",
+    "Portland", "Seattle", "San Jose", "Atlanta",
+)
+
+PROJECT_CODES: Sequence[str] = (
+    "PRJ-ALPHA", "PRJ-BETA", "PRJ-GAMMA", "PRJ-DELTA", "PRJ-OMEGA",
+    "PRJ-SIGMA", "PRJ-KAPPA", "PRJ-ZETA",
+)
+
+SURVEY_QUESTIONS: Sequence[str] = (
+    "Preferred color", "Favorite product", "Region of residence",
+    "Department", "Satisfaction level",
+)
+
+STATUS_VALUES: Sequence[str] = ("Open", "Closed", "Pending", "Escalated")
+
+
+def pick(rng: np.random.Generator, pool: Sequence[str]) -> str:
+    """Uniformly pick one value from a pool."""
+    return str(pool[int(rng.integers(len(pool)))])
+
+
+def pick_many(rng: np.random.Generator, pool: Sequence[str], count: int) -> List[str]:
+    """Pick ``count`` distinct values (or all, if the pool is smaller)."""
+    count = min(count, len(pool))
+    indices = rng.choice(len(pool), size=count, replace=False)
+    return [str(pool[int(i)]) for i in indices]
+
+
+def full_name(rng: np.random.Generator) -> str:
+    """A random "First Last" name."""
+    return f"{pick(rng, FIRST_NAMES)} {pick(rng, LAST_NAMES)}"
+
+
+def money(rng: np.random.Generator, low: float = 100.0, high: float = 100_000.0) -> float:
+    """A random monetary amount rounded to cents."""
+    return float(np.round(rng.uniform(low, high), 2))
+
+
+def iso_date(rng: np.random.Generator, year: int = 2023) -> str:
+    """A random ISO date string within ``year``."""
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 28))
+    return f"{year:04d}-{month:02d}-{day:02d}"

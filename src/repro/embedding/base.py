@@ -1,0 +1,45 @@
+"""The :class:`TextEmbedder` interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+
+class TextEmbedder(abc.ABC):
+    """Maps text strings to fixed-dimension dense vectors.
+
+    Implementations must be deterministic: the same string always maps to
+    the same vector, which keeps corpora, indexes and experiments
+    reproducible.
+    """
+
+    #: Human-readable name, used in experiment reports.
+    name: str = "embedder"
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Output vector dimensionality."""
+
+    @abc.abstractmethod
+    def embed(self, text: str) -> np.ndarray:
+        """Embed a single string into a ``(dimension,)`` float32 vector."""
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed a sequence of strings into an ``(n, dimension)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dimension), dtype=np.float32)
+        rows: List[np.ndarray] = [self.embed(text) for text in texts]
+        return np.stack(rows).astype(np.float32)
+
+    @staticmethod
+    def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
+        """Cosine similarity between two vectors (0 if either is all-zero)."""
+        left_norm = float(np.linalg.norm(left))
+        right_norm = float(np.linalg.norm(right))
+        if left_norm == 0.0 or right_norm == 0.0:
+            return 0.0
+        return float(np.dot(left, right) / (left_norm * right_norm))

@@ -1,0 +1,44 @@
+"""A memoizing wrapper around any :class:`TextEmbedder`.
+
+Spreadsheet corpora repeat the same cell texts (headers, labels, common
+values) many times; caching the per-string embedding is the single largest
+speedup in offline preprocessing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.embedding.base import TextEmbedder
+
+
+class CachingEmbedder(TextEmbedder):
+    """LRU-caches the results of a wrapped embedder."""
+
+    def __init__(self, inner: TextEmbedder, max_entries: int = 200_000) -> None:
+        self._inner = inner
+        self._max_entries = max_entries
+        self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.name = inner.name
+
+    @property
+    def dimension(self) -> int:
+        return self._inner.dimension
+
+    @property
+    def cache_size(self) -> int:
+        """Number of cached strings."""
+        return len(self._cache)
+
+    def embed(self, text: str) -> np.ndarray:
+        cached = self._cache.get(text)
+        if cached is not None:
+            self._cache.move_to_end(text)
+            return cached
+        vector = self._inner.embed(text)
+        self._cache[text] = vector
+        if len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return vector

@@ -1,0 +1,57 @@
+"""Bucketized sensitivity analyses (Figures 9, 10 and 11)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.evaluation.metrics import CaseResult, QualityMetrics, precision_recall_f1
+from repro.formula.classify import (
+    classify_formula,
+    complexity_bucket,
+    row_bucket,
+)
+
+
+def bucket_by_rows(result: CaseResult) -> str:
+    """Figure 9: bucket by the target sheet's row count."""
+    return row_bucket(result.case.n_rows)
+
+
+def bucket_by_complexity(result: CaseResult) -> str:
+    """Figure 10: bucket by formula complexity (AST node count)."""
+    return complexity_bucket(result.case.ground_truth)
+
+
+def bucket_by_type(result: CaseResult) -> str:
+    """Figure 11: bucket by formula type (conditional / math / ...)."""
+    return classify_formula(result.case.ground_truth).value
+
+
+BUCKETING_FUNCTIONS: Dict[str, Callable[[CaseResult], str]] = {
+    "rows": bucket_by_rows,
+    "complexity": bucket_by_complexity,
+    "type": bucket_by_type,
+}
+
+
+def bucketize_results(
+    results: Sequence[CaseResult], by: str = "rows"
+) -> Dict[str, List[CaseResult]]:
+    """Group case results into named buckets."""
+    if by not in BUCKETING_FUNCTIONS:
+        raise ValueError(f"unknown bucketing {by!r}; expected one of {sorted(BUCKETING_FUNCTIONS)}")
+    bucketing = BUCKETING_FUNCTIONS[by]
+    buckets: Dict[str, List[CaseResult]] = {}
+    for result in results:
+        buckets.setdefault(bucketing(result), []).append(result)
+    return buckets
+
+
+def bucket_metrics(
+    results: Sequence[CaseResult], by: str = "rows"
+) -> Dict[str, QualityMetrics]:
+    """Per-bucket precision / recall / F1."""
+    return {
+        name: precision_recall_f1(bucket)
+        for name, bucket in bucketize_results(results, by=by).items()
+    }

@@ -1,0 +1,106 @@
+"""Exact-match quality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.interface import Prediction
+from repro.corpus.testcases import TestCase
+from repro.formula.template import normalize_formula
+from repro.formula.tokenizer import FormulaSyntaxError
+
+
+@dataclass
+class CaseResult:
+    """The outcome of one method on one test case."""
+
+    case: TestCase
+    prediction: Optional[Prediction]
+    hit: bool
+
+    @property
+    def predicted(self) -> bool:
+        """Whether the method emitted a prediction (did not abstain)."""
+        return self.prediction is not None
+
+    @property
+    def confidence(self) -> float:
+        """Prediction confidence (0 when the method abstained)."""
+        return self.prediction.confidence if self.prediction else 0.0
+
+
+@dataclass(frozen=True)
+class QualityMetrics:
+    """Precision / recall / F1 over a set of case results."""
+
+    n_cases: int
+    n_predicted: int
+    n_hits: int
+
+    @property
+    def recall(self) -> float:
+        return self.n_hits / self.n_cases if self.n_cases else 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.n_hits / self.n_predicted if self.n_predicted else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def as_row(self) -> dict:
+        """Dictionary row with R / P / F1, as reported in the paper's tables."""
+        return {
+            "recall": round(self.recall, 3),
+            "precision": round(self.precision, 3),
+            "f1": round(self.f1, 3),
+            "cases": self.n_cases,
+            "predicted": self.n_predicted,
+            "hits": self.n_hits,
+        }
+
+
+def formulas_match(predicted: str, ground_truth: str) -> bool:
+    """Exact-match comparison after canonical normalization.
+
+    Both sides are parsed and re-rendered so formatting differences
+    (whitespace, case of function names, ``$`` anchors) do not count as
+    mismatches, but any difference in template or parameters does.
+    """
+    try:
+        return normalize_formula(predicted) == normalize_formula(ground_truth)
+    except FormulaSyntaxError:
+        return predicted.strip() == ground_truth.strip()
+
+
+def evaluate_predictions(
+    cases: Sequence[TestCase], predictions: Sequence[Optional[Prediction]]
+) -> List[CaseResult]:
+    """Pair up cases with predictions and mark hits."""
+    if len(cases) != len(predictions):
+        raise ValueError("cases and predictions must have equal length")
+    results: List[CaseResult] = []
+    for case, prediction in zip(cases, predictions):
+        hit = bool(prediction) and formulas_match(prediction.formula, case.ground_truth)
+        results.append(CaseResult(case=case, prediction=prediction, hit=hit))
+    return results
+
+
+def precision_recall_f1(
+    results: Sequence[CaseResult], confidence_threshold: float = 0.0
+) -> QualityMetrics:
+    """Aggregate metrics, counting only predictions above the threshold."""
+    n_cases = len(results)
+    n_predicted = 0
+    n_hits = 0
+    for result in results:
+        if result.predicted and result.confidence >= confidence_threshold:
+            n_predicted += 1
+            if result.hit:
+                n_hits += 1
+    return QualityMetrics(n_cases=n_cases, n_predicted=n_predicted, n_hits=n_hits)

@@ -1,0 +1,44 @@
+"""Precision-recall curves by sweeping the confidence threshold (Figure 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.evaluation.metrics import CaseResult, precision_recall_f1
+
+
+@dataclass(frozen=True)
+class PRPoint:
+    """One point of a PR curve at a given confidence threshold."""
+
+    threshold: float
+    precision: float
+    recall: float
+
+
+def precision_recall_curve(results: Sequence[CaseResult]) -> List[PRPoint]:
+    """Trace the PR curve over all distinct prediction confidences.
+
+    Thresholds are the observed confidence values (plus zero), so every
+    achievable operating point appears exactly once, ordered from the most
+    permissive (highest recall) to the most selective (highest precision).
+    """
+    confidences = sorted({result.confidence for result in results if result.predicted})
+    thresholds = [0.0] + confidences
+    points: List[PRPoint] = []
+    for threshold in thresholds:
+        metrics = precision_recall_f1(results, confidence_threshold=threshold)
+        points.append(
+            PRPoint(threshold=threshold, precision=metrics.precision, recall=metrics.recall)
+        )
+    return points
+
+
+def area_under_pr(points: Sequence[PRPoint]) -> float:
+    """Trapezoidal area under a PR curve (used to compare curves in tests)."""
+    ordered = sorted(points, key=lambda point: point.recall)
+    area = 0.0
+    for left, right in zip(ordered, ordered[1:]):
+        area += (right.recall - left.recall) * (right.precision + left.precision) / 2.0
+    return area

@@ -1,0 +1,110 @@
+"""Experiment runners: evaluate a method on a corpus split end to end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.interface import FormulaPredictor, Prediction
+from repro.corpus.generator import EnterpriseCorpus
+from repro.corpus.testcases import TestCase, sample_test_cases, split_corpus
+from repro.evaluation.metrics import CaseResult, QualityMetrics, evaluate_predictions, precision_recall_f1
+from repro.sheet.workbook import Workbook
+
+
+@dataclass
+class CorpusEvaluation:
+    """A frozen test workload: reference workbooks plus sampled test cases."""
+
+    corpus_name: str
+    split_method: str
+    reference_workbooks: List[Workbook]
+    test_workbooks: List[Workbook]
+    cases: List[TestCase]
+
+
+@dataclass
+class EvaluationRun:
+    """Results of one method on one workload."""
+
+    method: str
+    corpus_name: str
+    results: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def metrics(self) -> QualityMetrics:
+        """Headline precision / recall / F1 at the method's own threshold."""
+        return precision_recall_f1(self.results)
+
+
+def prepare_corpus_evaluation(
+    corpus: EnterpriseCorpus,
+    split_method: str = "timestamp",
+    test_fraction: float = 0.15,
+    max_formulas_per_sheet: int = 10,
+    seed: int = 0,
+) -> CorpusEvaluation:
+    """Split a corpus and sample its test cases once, for reuse across methods."""
+    test_workbooks, reference_workbooks = split_corpus(
+        corpus, test_fraction=test_fraction, method=split_method, seed=seed
+    )
+    cases = sample_test_cases(
+        corpus.name, test_workbooks, max_per_sheet=max_formulas_per_sheet, seed=seed
+    )
+    return CorpusEvaluation(
+        corpus_name=corpus.name,
+        split_method=split_method,
+        reference_workbooks=reference_workbooks,
+        test_workbooks=test_workbooks,
+        cases=cases,
+    )
+
+
+def run_method_on_cases(
+    predictor: FormulaPredictor,
+    reference_workbooks: Sequence[Workbook],
+    cases: Sequence[TestCase],
+    corpus_name: str = "",
+    fit: bool = True,
+) -> EvaluationRun:
+    """Fit a predictor on the reference set and evaluate it on the cases."""
+    if fit:
+        predictor.fit(reference_workbooks)
+    predictions: List[Optional[Prediction]] = [
+        predictor.predict(case.target_sheet, case.target_cell) for case in cases
+    ]
+    results = evaluate_predictions(cases, predictions)
+    return EvaluationRun(method=predictor.name, corpus_name=corpus_name, results=results)
+
+
+def run_method_on_corpus(
+    predictor: FormulaPredictor,
+    corpus: EnterpriseCorpus,
+    split_method: str = "timestamp",
+    test_fraction: float = 0.15,
+    seed: int = 0,
+) -> EvaluationRun:
+    """Convenience wrapper: split, sample, fit and evaluate in one call."""
+    workload = prepare_corpus_evaluation(
+        corpus, split_method=split_method, test_fraction=test_fraction, seed=seed
+    )
+    return run_method_on_cases(
+        predictor,
+        workload.reference_workbooks,
+        workload.cases,
+        corpus_name=corpus.name,
+    )
+
+
+def overall_average(runs: Sequence[EvaluationRun]) -> Dict[str, float]:
+    """The paper's "Overall Average" column: mean R / P / F1 across corpora."""
+    if not runs:
+        return {"recall": 0.0, "precision": 0.0, "f1": 0.0}
+    recalls = [run.metrics.recall for run in runs]
+    precisions = [run.metrics.precision for run in runs]
+    f1s = [run.metrics.f1 for run in runs]
+    return {
+        "recall": round(sum(recalls) / len(recalls), 3),
+        "precision": round(sum(precisions) / len(precisions), 3),
+        "f1": round(sum(f1s) / len(f1s), 3),
+    }

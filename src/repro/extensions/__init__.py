@@ -1,0 +1,24 @@
+"""Extensions built on the similar-sheet / similar-region primitives.
+
+The paper's conclusion lists follow-on applications of its two learned
+primitives beyond formula recommendation: content auto-filling and table
+error detection.  This package implements both on top of the same trained
+:class:`~repro.models.SheetEncoder`:
+
+* :class:`ValueAutoFill` recommends a *value* for an empty cell by aligning
+  it with the corresponding cell on the most similar region of a similar
+  sheet;
+* :class:`FormulaErrorDetector` flags formula cells whose formula template
+  disagrees with the template used at the aligned location on similar
+  sheets (a strong signal of copy/paste and range-omission mistakes).
+"""
+
+from repro.extensions.autofill import AutoFillSuggestion, ValueAutoFill
+from repro.extensions.error_detection import FormulaAnomaly, FormulaErrorDetector
+
+__all__ = [
+    "ValueAutoFill",
+    "AutoFillSuggestion",
+    "FormulaErrorDetector",
+    "FormulaAnomaly",
+]

@@ -1,0 +1,26 @@
+"""Featurization: cells -> feature vectors, windows -> input tensors.
+
+Implements Section 4.4.1 of the paper: each cell is represented by a
+concatenation of *content features* (a semantic text embedding plus
+syntactic type/pattern features) and *style features* (colors, font,
+sizes).  A fixed ``n_rows x n_cols`` *view window* stacks the cell vectors
+of a spreadsheet region into a 3-D input tensor for the representation
+models; the window can be centered on a cell (region representation) or
+anchored at the sheet's top-left corner (whole-sheet representation).
+"""
+
+from repro.features.config import FeatureConfig
+from repro.features.cell_features import CellFeaturizer
+from repro.features.window import (
+    WindowFeaturizer,
+    region_window_bounds,
+    sheet_window_bounds,
+)
+
+__all__ = [
+    "FeatureConfig",
+    "CellFeaturizer",
+    "WindowFeaturizer",
+    "region_window_bounds",
+    "sheet_window_bounds",
+]

@@ -1,0 +1,156 @@
+"""Per-cell feature vectors: content features and style features."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.embedding import TextEmbedder
+from repro.features.config import FeatureConfig
+from repro.sheet.cell import Cell, CellType, syntactic_pattern
+
+#: Fixed ordering of cell types for the one-hot type feature.
+_CELL_TYPES = [
+    CellType.EMPTY,
+    CellType.NUMERIC,
+    CellType.TEXT,
+    CellType.DATE,
+    CellType.BOOLEAN,
+    CellType.FORMULA,
+    CellType.ERROR,
+]
+
+#: Number of syntactic-pattern summary features.
+_N_PATTERN_FEATURES = 8
+#: Number of style features.
+_N_STYLE_FEATURES = 16
+#: Extra indicator features (cell validity inside the sheet bounds).
+_N_INDICATOR_FEATURES = 1
+
+
+class CellFeaturizer:
+    """Turns a :class:`Cell` into a fixed-length feature vector.
+
+    Layout of the feature vector (in order):
+
+    1. semantic content embedding (``content_embedding_dim`` floats),
+    2. cell-type one-hot (7),
+    3. syntactic pattern summary (8),
+    4. style features (16),
+    5. validity indicator (1): 1.0 for real cells, 0.0 for out-of-bounds
+       padding cells in a view window.
+
+    Disabled feature groups (ablations) are zeroed rather than removed so
+    the model input dimensionality — and hence trained weights — stay
+    compatible across ablation runs.
+    """
+
+    def __init__(self, config: FeatureConfig, embedder: Optional[TextEmbedder] = None) -> None:
+        self._config = config
+        self._embedder = embedder or config.create_embedder()
+        self._content_dim = config.content_embedding_dim
+
+    # ----------------------------------------------------------------- layout
+
+    @property
+    def dimension(self) -> int:
+        """Total length of the per-cell feature vector."""
+        return (
+            self._content_dim
+            + len(_CELL_TYPES)
+            + _N_PATTERN_FEATURES
+            + _N_STYLE_FEATURES
+            + _N_INDICATOR_FEATURES
+        )
+
+    @property
+    def embedder(self) -> TextEmbedder:
+        """The content embedder in use."""
+        return self._embedder
+
+    def content_feature_slice(self) -> slice:
+        """Indices of the content-feature block (embedding + type + pattern)."""
+        return slice(0, self._content_dim + len(_CELL_TYPES) + _N_PATTERN_FEATURES)
+
+    def style_feature_slice(self) -> slice:
+        """Indices of the style-feature block."""
+        start = self._content_dim + len(_CELL_TYPES) + _N_PATTERN_FEATURES
+        return slice(start, start + _N_STYLE_FEATURES)
+
+    # --------------------------------------------------------------- features
+
+    def _semantic_features(self, cell: Cell) -> np.ndarray:
+        text = cell.display_text()
+        if not text:
+            return np.zeros(self._content_dim, dtype=np.float32)
+        vector = self._embedder.embed(text)
+        if vector.shape[0] == self._content_dim:
+            return vector
+        if vector.shape[0] > self._content_dim:
+            return vector[: self._content_dim]
+        padded = np.zeros(self._content_dim, dtype=np.float32)
+        padded[: vector.shape[0]] = vector
+        return padded
+
+    @staticmethod
+    def _type_features(cell: Cell) -> np.ndarray:
+        one_hot = np.zeros(len(_CELL_TYPES), dtype=np.float32)
+        one_hot[_CELL_TYPES.index(cell.cell_type)] = 1.0
+        return one_hot
+
+    @staticmethod
+    def _pattern_features(cell: Cell) -> np.ndarray:
+        pattern = syntactic_pattern(cell.value)
+        features = np.zeros(_N_PATTERN_FEATURES, dtype=np.float32)
+        if not pattern:
+            return features
+        length = len(pattern)
+        features[0] = min(length / 32.0, 1.0)
+        features[1] = pattern.count("D") / length
+        features[2] = pattern.count("L") / length
+        features[3] = pattern.count("S") / length
+        features[4] = 1.0 if "-" in pattern or "/" in pattern else 0.0
+        features[5] = 1.0 if "." in pattern else 0.0
+        features[6] = 1.0 if "$" in pattern or "%" in pattern else 0.0
+        features[7] = 1.0 if pattern and pattern[0] == "D" else 0.0
+        return features
+
+    @staticmethod
+    def _style_features(cell: Cell) -> np.ndarray:
+        style = cell.style
+        features = np.zeros(_N_STYLE_FEATURES, dtype=np.float32)
+        features[0:3] = style.background_rgb()
+        features[3:6] = style.font_rgb()
+        features[6] = 1.0 if style.bold else 0.0
+        features[7] = 1.0 if style.italic else 0.0
+        features[8] = 1.0 if style.underline else 0.0
+        features[9] = min(style.font_size / 24.0, 2.0)
+        features[10] = min(style.height / 60.0, 2.0)
+        features[11] = min(style.width / 200.0, 2.0)
+        features[12] = 1.0 if style.border_top else 0.0
+        features[13] = 1.0 if style.border_bottom else 0.0
+        features[14] = 1.0 if style.border_left else 0.0
+        features[15] = 1.0 if style.border_right else 0.0
+        return features
+
+    def featurize(self, cell: Cell, valid: bool = True) -> np.ndarray:
+        """Full feature vector for a single cell."""
+        parts: List[np.ndarray] = []
+        if self._config.use_content_features:
+            parts.append(self._semantic_features(cell))
+            parts.append(self._type_features(cell))
+            parts.append(self._pattern_features(cell))
+        else:
+            parts.append(
+                np.zeros(
+                    self._content_dim + len(_CELL_TYPES) + _N_PATTERN_FEATURES,
+                    dtype=np.float32,
+                )
+            )
+        if self._config.use_style_features:
+            parts.append(self._style_features(cell))
+        else:
+            parts.append(np.zeros(_N_STYLE_FEATURES, dtype=np.float32))
+        parts.append(np.array([1.0 if valid else 0.0], dtype=np.float32))
+        return np.concatenate(parts)

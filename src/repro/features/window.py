@@ -1,0 +1,126 @@
+"""View-window extraction: regions and whole sheets as input tensors."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.features.cell_features import CellFeaturizer
+from repro.features.config import FeatureConfig
+from repro.sheet.addressing import CellAddress
+from repro.sheet.cell import EMPTY_CELL
+from repro.sheet.sheet import Sheet
+
+
+def region_window_bounds(
+    center: CellAddress, window_rows: int, window_cols: int
+) -> Tuple[int, int]:
+    """Top-left ``(row, col)`` of a window centered on ``center``.
+
+    The window is *always* centered on the cell, even near the sheet
+    boundary: positions that fall outside the sheet (negative rows/columns
+    or past the used extent) are represented as invalid padding cells,
+    mirroring Figure 5 of the paper.  Keeping the center fixed is what makes
+    the fine-grained representation sensitive to one-cell shifts near the
+    edges of a sheet.
+    """
+    top = center.row - window_rows // 2
+    left = center.col - window_cols // 2
+    return top, left
+
+
+def sheet_window_bounds() -> Tuple[int, int]:
+    """Top-left of the window representing a whole sheet (always (0, 0))."""
+    return 0, 0
+
+
+class WindowFeaturizer:
+    """Builds ``(window_rows, window_cols, cell_dim)`` tensors from sheets.
+
+    Windows on the same sheet overlap heavily (every formula cell gets its
+    own region window), so per-cell feature vectors are memoized per sheet
+    object.  The cache holds a strong reference to each sheet it has seen so
+    ``id()`` values cannot be recycled; call :meth:`clear_cache` between
+    unrelated workloads to release memory.
+    """
+
+    def __init__(self, config: Optional[FeatureConfig] = None, featurizer: Optional[CellFeaturizer] = None) -> None:
+        self.config = config or FeatureConfig()
+        self.cell_featurizer = featurizer or CellFeaturizer(self.config)
+        self._cell_cache: dict = {}
+        self._cached_sheets: dict = {}
+        self._padding_vector: Optional[np.ndarray] = None
+
+    @property
+    def window_shape(self) -> Tuple[int, int, int]:
+        """Shape of a single window tensor."""
+        return (self.config.window_rows, self.config.window_cols, self.cell_featurizer.dimension)
+
+    def clear_cache(self) -> None:
+        """Drop all memoized per-cell feature vectors."""
+        self._cell_cache.clear()
+        self._cached_sheets.clear()
+
+    def _padding_features(self) -> np.ndarray:
+        if self._padding_vector is None:
+            self._padding_vector = self.cell_featurizer.featurize(EMPTY_CELL, valid=False)
+        return self._padding_vector
+
+    def _cell_features(self, sheet: Sheet, row: int, col: int) -> np.ndarray:
+        key = (id(sheet), row, col)
+        cached = self._cell_cache.get(key)
+        if cached is not None:
+            return cached
+        vector = self.cell_featurizer.featurize(sheet.get((row, col)), valid=True)
+        self._cell_cache[key] = vector
+        self._cached_sheets[id(sheet)] = sheet
+        return vector
+
+    def _window_from(self, sheet: Sheet, top: int, left: int) -> np.ndarray:
+        rows, cols = self.config.window_rows, self.config.window_cols
+        tensor = np.zeros(self.window_shape, dtype=np.float32)
+        n_rows, n_cols = sheet.n_rows, sheet.n_cols
+        padding = self._padding_features()
+        for row_offset in range(rows):
+            row = top + row_offset
+            for col_offset in range(cols):
+                col = left + col_offset
+                if 0 <= row < n_rows and 0 <= col < n_cols:
+                    tensor[row_offset, col_offset] = self._cell_features(sheet, row, col)
+                else:
+                    tensor[row_offset, col_offset] = padding
+        return tensor
+
+    def featurize_region(
+        self, sheet: Sheet, center: CellAddress, blank_center: bool = False
+    ) -> np.ndarray:
+        """Window tensor for the region centered on ``center``.
+
+        ``blank_center=True`` replaces the center cell's features with the
+        invalid-padding vector.  The online pipeline uses this for the S2
+        formula-region comparison: the target cell is empty (the user has not
+        written the formula yet) while the reference cell holds a computed
+        value, so masking the center on both sides makes their surrounding
+        regions directly comparable.
+        """
+        top, left = region_window_bounds(center, self.config.window_rows, self.config.window_cols)
+        window = self._window_from(sheet, top, left)
+        if blank_center:
+            window = window.copy()
+            window[center.row - top, center.col - left] = self._padding_features()
+        return window
+
+    def featurize_sheet(self, sheet: Sheet) -> np.ndarray:
+        """Window tensor representing the whole sheet (top-left anchored)."""
+        top, left = sheet_window_bounds()
+        return self._window_from(sheet, top, left)
+
+    def featurize_regions(self, sheet: Sheet, centers, blank_center: bool = False) -> np.ndarray:
+        """Stack of window tensors, one per center address."""
+        if not centers:
+            rows, cols, dim = self.window_shape
+            return np.zeros((0, rows, cols, dim), dtype=np.float32)
+        return np.stack(
+            [self.featurize_region(sheet, center, blank_center=blank_center) for center in centers]
+        )

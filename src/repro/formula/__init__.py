@@ -1,0 +1,71 @@
+"""Formula substrate: parsing, templates, evaluation and classification.
+
+This package implements the spreadsheet-formula machinery the paper relies
+on: a tokenizer and recursive-descent parser producing an AST, formula
+*templates* (the AST with parameter "holes", Section 3.2), template
+instantiation used by prediction step S3, an evaluator with a library of
+common spreadsheet functions, and the classification utilities used by the
+sensitivity analyses (formula complexity and formula type, Figures 10-11).
+"""
+
+from repro.formula.tokenizer import Token, TokenType, tokenize, FormulaSyntaxError
+from repro.formula.ast_nodes import (
+    ASTNode,
+    BinaryOp,
+    UnaryOp,
+    FunctionCall,
+    CellReference,
+    RangeReference,
+    NumberLiteral,
+    StringLiteral,
+    BooleanLiteral,
+    node_count,
+    walk,
+)
+from repro.formula.parser import parse_formula
+from repro.formula.template import (
+    FormulaTemplate,
+    extract_template,
+    instantiate_template,
+    formula_references,
+    shift_formula,
+)
+from repro.formula.evaluator import FormulaEvaluator, EvaluationError
+from repro.formula.classify import (
+    FormulaCategory,
+    classify_formula,
+    formula_complexity,
+    complexity_bucket,
+    functions_used,
+)
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "FormulaSyntaxError",
+    "ASTNode",
+    "BinaryOp",
+    "UnaryOp",
+    "FunctionCall",
+    "CellReference",
+    "RangeReference",
+    "NumberLiteral",
+    "StringLiteral",
+    "BooleanLiteral",
+    "node_count",
+    "walk",
+    "parse_formula",
+    "FormulaTemplate",
+    "extract_template",
+    "instantiate_template",
+    "formula_references",
+    "shift_formula",
+    "FormulaEvaluator",
+    "EvaluationError",
+    "FormulaCategory",
+    "classify_formula",
+    "formula_complexity",
+    "complexity_bucket",
+    "functions_used",
+]

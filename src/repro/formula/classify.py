@@ -1,0 +1,151 @@
+"""Formula classification: complexity and type buckets.
+
+The paper's sensitivity analyses group test formulas by complexity (the
+number of nodes in the parsed AST, Figure 10) and by type — "conditional",
+"math", "string", "date" and "other" (Figure 11).  This module reproduces
+those bucketizations.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Set, Union
+
+from repro.formula.ast_nodes import ASTNode, BinaryOp, FunctionCall, node_count, walk
+from repro.formula.parser import parse_formula
+
+_CONDITIONAL_FUNCTIONS = {
+    "IF",
+    "IFS",
+    "IFERROR",
+    "COUNTIF",
+    "COUNTIFS",
+    "SUMIF",
+    "SUMIFS",
+    "AVERAGEIF",
+    "AVERAGEIFS",
+    "AND",
+    "OR",
+    "NOT",
+}
+_MATH_FUNCTIONS = {
+    "SUM",
+    "AVERAGE",
+    "AVG",
+    "COUNT",
+    "COUNTA",
+    "COUNTBLANK",
+    "MAX",
+    "MIN",
+    "MEDIAN",
+    "PRODUCT",
+    "STDEV",
+    "VAR",
+    "ROUND",
+    "ROUNDUP",
+    "ROUNDDOWN",
+    "ABS",
+    "SQRT",
+    "POWER",
+    "MOD",
+    "INT",
+}
+_STRING_FUNCTIONS = {
+    "CONCATENATE",
+    "CONCAT",
+    "LEFT",
+    "RIGHT",
+    "MID",
+    "LEN",
+    "UPPER",
+    "LOWER",
+    "TRIM",
+    "TEXT",
+    "SUBSTITUTE",
+}
+_DATE_FUNCTIONS = {"YEAR", "MONTH", "DAY", "DATE", "TODAY", "NOW", "EOMONTH", "DATEDIF"}
+
+#: Complexity bucket boundaries used in Figure 10 (by AST node count).
+COMPLEXITY_BUCKETS = ["l<3", "l=3", "3<l<7", "7<=l<20", "20<=l"]
+
+#: Row-count bucket boundaries used in Figure 9.
+ROW_BUCKETS = ["r<40", "40<=r<60", "60<=r<100", "100<=r<250", "250<=r"]
+
+
+class FormulaCategory(enum.Enum):
+    """The formula-type buckets used in Figure 11."""
+
+    CONDITIONAL = "conditional"
+    MATH = "math"
+    STRING = "string"
+    DATE = "date"
+    OTHER = "other"
+
+
+def functions_used(formula: Union[str, ASTNode]) -> List[str]:
+    """Names of all functions appearing in the formula, in pre-order."""
+    ast = parse_formula(formula) if isinstance(formula, str) else formula
+    return [node.name for node in walk(ast) if isinstance(node, FunctionCall)]
+
+
+def formula_complexity(formula: Union[str, ASTNode]) -> int:
+    """Formula complexity: number of nodes in its parsed AST."""
+    ast = parse_formula(formula) if isinstance(formula, str) else formula
+    return node_count(ast)
+
+
+def complexity_bucket(formula: Union[str, ASTNode]) -> str:
+    """The Figure 10 bucket label for a formula's complexity."""
+    length = formula_complexity(formula)
+    if length < 3:
+        return COMPLEXITY_BUCKETS[0]
+    if length == 3:
+        return COMPLEXITY_BUCKETS[1]
+    if length < 7:
+        return COMPLEXITY_BUCKETS[2]
+    if length < 20:
+        return COMPLEXITY_BUCKETS[3]
+    return COMPLEXITY_BUCKETS[4]
+
+
+def row_bucket(n_rows: int) -> str:
+    """The Figure 9 bucket label for a target sheet's row count."""
+    if n_rows < 40:
+        return ROW_BUCKETS[0]
+    if n_rows < 60:
+        return ROW_BUCKETS[1]
+    if n_rows < 100:
+        return ROW_BUCKETS[2]
+    if n_rows < 250:
+        return ROW_BUCKETS[3]
+    return ROW_BUCKETS[4]
+
+
+def classify_formula(formula: Union[str, ASTNode]) -> FormulaCategory:
+    """Classify a formula into the Figure 11 type buckets.
+
+    Priority follows the paper's description: any IF/criteria logic makes a
+    formula "conditional"; otherwise string functions, then date functions,
+    then math functions / arithmetic; anything else is "other".
+    """
+    ast = parse_formula(formula) if isinstance(formula, str) else formula
+    names: Set[str] = set(functions_used(ast))
+    has_comparison = any(
+        isinstance(node, BinaryOp) and node.op in ("=", "<>", "<", "<=", ">", ">=")
+        for node in walk(ast)
+    )
+    if names & _CONDITIONAL_FUNCTIONS or has_comparison:
+        return FormulaCategory.CONDITIONAL
+    if names & _STRING_FUNCTIONS or any(
+        isinstance(node, BinaryOp) and node.op == "&" for node in walk(ast)
+    ):
+        return FormulaCategory.STRING
+    if names & _DATE_FUNCTIONS:
+        return FormulaCategory.DATE
+    has_arithmetic = any(
+        isinstance(node, BinaryOp) and node.op in ("+", "-", "*", "/", "^")
+        for node in walk(ast)
+    )
+    if names & _MATH_FUNCTIONS or has_arithmetic:
+        return FormulaCategory.MATH
+    return FormulaCategory.OTHER

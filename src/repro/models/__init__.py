@@ -1,0 +1,31 @@
+"""Spreadsheet representation models (Section 4.4-4.5).
+
+Two models share the same input featurization but differ in their feature
+extraction branch:
+
+* the **coarse-grained** model ``M_c`` uses convolution + pooling, making it
+  translation-tolerant ("fuzzy") for whole-sheet similar-sheet search;
+* the **fine-grained** model ``M_f`` keeps per-cell structure through
+  fully-connected layers, making it position-precise for similar-region
+  search.
+
+Both are trained with semi-hard triplet learning on the weakly-supervised
+pairs (Algorithm 1), and expose L2-normalized embeddings consumed by the
+ANN indexes.
+"""
+
+from repro.models.config import ModelConfig, TrainingConfig
+from repro.models.networks import build_coarse_model, build_fine_model
+from repro.models.encoder import SheetEncoder
+from repro.models.trainer import TripletTrainer, TrainingHistory, train_models
+
+__all__ = [
+    "ModelConfig",
+    "TrainingConfig",
+    "build_coarse_model",
+    "build_fine_model",
+    "SheetEncoder",
+    "TripletTrainer",
+    "TrainingHistory",
+    "train_models",
+]

@@ -1,0 +1,91 @@
+"""The :class:`SheetEncoder`: featurization + trained models in one object.
+
+The encoder is what the rest of the system (indexing, online prediction,
+baseline RAG retrieval) consumes: it turns sheets into coarse embeddings and
+(sheet, cell) regions into fine embeddings, hiding the featurizer and the
+two networks behind two methods.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.features import FeatureConfig, WindowFeaturizer
+from repro.models.config import ModelConfig
+from repro.models.networks import build_coarse_model, build_fine_model
+from repro.nn import Sequential
+from repro.sheet.addressing import CellAddress
+from repro.sheet.sheet import Sheet
+
+
+class SheetEncoder:
+    """Embeds sheets (coarse) and regions (fine) with the trained models."""
+
+    def __init__(
+        self,
+        config: Optional[ModelConfig] = None,
+        coarse_model: Optional[Sequential] = None,
+        fine_model: Optional[Sequential] = None,
+        featurizer: Optional[WindowFeaturizer] = None,
+    ) -> None:
+        self.config = config or ModelConfig()
+        self.featurizer = featurizer or WindowFeaturizer(self.config.features)
+        cell_dim = self.featurizer.cell_featurizer.dimension
+        self.coarse_model = coarse_model or build_coarse_model(self.config, cell_dim)
+        self.fine_model = fine_model or build_fine_model(self.config, cell_dim)
+
+    # ------------------------------------------------------------------- dims
+
+    @property
+    def coarse_dimension(self) -> int:
+        """Dimensionality of coarse (sheet-level) embeddings."""
+        return self.config.coarse_embedding_dim
+
+    @property
+    def fine_dimension(self) -> int:
+        """Dimensionality of fine (region-level) embeddings."""
+        return self.config.fine_embedding_dim
+
+    # ------------------------------------------------------------------ embed
+
+    def embed_sheet(self, sheet: Sheet) -> np.ndarray:
+        """Coarse embedding of a whole sheet."""
+        window = self.featurizer.featurize_sheet(sheet)[None, ...]
+        return self.coarse_model.forward(window)[0]
+
+    def embed_sheets(self, sheets: Sequence[Sheet]) -> np.ndarray:
+        """Coarse embeddings for a batch of sheets."""
+        if not sheets:
+            return np.zeros((0, self.coarse_dimension), dtype=np.float32)
+        windows = np.stack([self.featurizer.featurize_sheet(sheet) for sheet in sheets])
+        return self.coarse_model.forward(windows)
+
+    def embed_region(self, sheet: Sheet, center: CellAddress) -> np.ndarray:
+        """Fine embedding of the window centered at ``center``."""
+        window = self.featurizer.featurize_region(sheet, center)[None, ...]
+        return self.fine_model.forward(window)[0]
+
+    def embed_regions(self, sheet: Sheet, centers: Sequence[CellAddress]) -> np.ndarray:
+        """Fine embeddings for several centers on the same sheet."""
+        if not centers:
+            return np.zeros((0, self.fine_dimension), dtype=np.float32)
+        windows = self.featurizer.featurize_regions(sheet, list(centers))
+        return self.fine_model.forward(windows)
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, directory: Union[str, Path]) -> None:
+        """Persist both models' parameters under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.coarse_model.save(directory / "coarse.npz")
+        self.fine_model.save(directory / "fine.npz")
+
+    def load(self, directory: Union[str, Path]) -> None:
+        """Load parameters previously written by :meth:`save`."""
+        directory = Path(directory)
+        self.coarse_model.load(directory / "coarse.npz")
+        self.fine_model.load(directory / "fine.npz")

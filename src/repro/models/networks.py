@@ -1,0 +1,78 @@
+"""Network builders for the coarse-grained and fine-grained models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.nn import (
+    AvgPool2D,
+    Conv2D,
+    Flatten,
+    L2Normalize,
+    Linear,
+    PerCellLinear,
+    ReLU,
+    Sequential,
+)
+
+
+def _reduction_layers(config: ModelConfig, cell_dim: int, rng: np.random.Generator):
+    """The shared per-cell dimension-reduction MLP (applied to every cell)."""
+    return [
+        PerCellLinear(cell_dim, config.reduction_hidden_dim, rng=rng),
+        ReLU(),
+        PerCellLinear(config.reduction_hidden_dim, config.reduction_output_dim, rng=rng),
+        ReLU(),
+    ]
+
+
+def build_coarse_model(config: ModelConfig, cell_dim: int) -> Sequential:
+    """The coarse-grained model ``M_c``: CNN feature extraction.
+
+    Convolution and average pooling blur cell boundaries and tolerate
+    row/column shifts, which is exactly what whole-sheet "fuzzy" similarity
+    needs (Example 3 in the paper).
+    """
+    rng = np.random.default_rng(config.seed)
+    rows, cols = config.features.window_rows, config.features.window_cols
+    channels = config.coarse_conv_channels
+    pooled_rows, pooled_cols = rows // 2 // 2, cols // 2 // 2
+    if pooled_rows < 1 or pooled_cols < 1:
+        raise ValueError(
+            "view window too small for two 2x2 pooling stages: "
+            f"{rows}x{cols}"
+        )
+    flattened = pooled_rows * pooled_cols * channels
+    return Sequential(
+        _reduction_layers(config, cell_dim, rng)
+        + [
+            Conv2D(config.reduction_output_dim, channels, kernel_size=3, rng=rng),
+            ReLU(),
+            AvgPool2D(2),
+            Conv2D(channels, channels, kernel_size=3, rng=rng),
+            ReLU(),
+            AvgPool2D(2),
+            Flatten(),
+            Linear(flattened, config.coarse_embedding_dim, rng=rng),
+            L2Normalize(),
+        ]
+    )
+
+
+def build_fine_model(config: ModelConfig, cell_dim: int) -> Sequential:
+    """The fine-grained model ``M_f``: per-cell fully-connected extraction.
+
+    No convolution or pooling is used, so every cell keeps its own slice of
+    the output embedding and a one-cell shift produces a markedly different
+    vector — the precision needed for similar-region search.
+    """
+    rng = np.random.default_rng(config.seed + 1)
+    return Sequential(
+        _reduction_layers(config, cell_dim, rng)
+        + [
+            PerCellLinear(config.reduction_output_dim, config.fine_per_cell_dim, rng=rng),
+            Flatten(),
+            L2Normalize(),
+        ]
+    )

@@ -1,0 +1,60 @@
+"""Triplet loss (Equation 1 of the paper) and helpers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pairwise_squared_distances(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between all rows of ``left`` and ``right``."""
+    left_sq = np.sum(left**2, axis=1, keepdims=True)
+    right_sq = np.sum(right**2, axis=1, keepdims=True)
+    cross = left @ right.T
+    distances = left_sq + right_sq.T - 2.0 * cross
+    return np.maximum(distances, 0.0)
+
+
+def triplet_loss_and_grad(
+    anchor: np.ndarray,
+    positive: np.ndarray,
+    negative: np.ndarray,
+    margin: float = 0.5,
+) -> Tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+    """Batch triplet loss and its gradients with respect to the embeddings.
+
+    Implements  ``l = max(||phi_A - phi_P||^2 - ||phi_A - phi_N||^2 + m, 0)``
+    averaged over the batch, returning ``(loss, d_anchor, d_positive,
+    d_negative)``.  Triplets already satisfying the margin contribute zero
+    loss and zero gradient.
+    """
+    if anchor.shape != positive.shape or anchor.shape != negative.shape:
+        raise ValueError("anchor, positive and negative must have identical shapes")
+    batch = anchor.shape[0]
+    if batch == 0:
+        zeros = np.zeros_like(anchor)
+        return 0.0, zeros, zeros, zeros
+
+    diff_ap = anchor - positive
+    diff_an = anchor - negative
+    dist_ap = np.sum(diff_ap**2, axis=1)
+    dist_an = np.sum(diff_an**2, axis=1)
+    per_triplet = dist_ap - dist_an + margin
+    active = per_triplet > 0.0
+    loss = float(np.sum(np.maximum(per_triplet, 0.0)) / batch)
+
+    scale = (active.astype(np.float32) * (2.0 / batch))[:, None]
+    d_anchor = scale * (diff_ap - diff_an)
+    d_positive = scale * (-diff_ap)
+    d_negative = scale * diff_an
+    return loss, d_anchor.astype(np.float32), d_positive.astype(np.float32), d_negative.astype(np.float32)
+
+
+def triplet_losses(
+    anchor: np.ndarray, positive: np.ndarray, negative: np.ndarray, margin: float = 0.5
+) -> np.ndarray:
+    """Per-triplet (un-averaged) losses, used by the semi-hard miner."""
+    dist_ap = np.sum((anchor - positive) ** 2, axis=1)
+    dist_an = np.sum((anchor - negative) ** 2, axis=1)
+    return np.maximum(dist_ap - dist_an + margin, 0.0)

@@ -1,0 +1,88 @@
+"""Semi-hard triplet mining (FaceNet-style), as used in Algorithm 1.
+
+Given positive pairs ``(A, P)`` and a pool of negatives, the miner embeds
+all candidates with the *current* model and keeps, for each positive pair,
+a negative whose triplet loss is strictly between 0 and the margin — i.e.
+the negative is further from the anchor than the positive, but not yet by
+the full margin ("semi-hard").  When no semi-hard negative exists, the
+hardest negative that still has positive loss is used; pairs whose every
+negative already satisfies the margin are skipped for that step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.losses import pairwise_squared_distances
+
+
+@dataclass
+class TripletBatch:
+    """Indices of the selected triplets into the candidate arrays."""
+
+    anchor_indices: np.ndarray
+    positive_indices: np.ndarray
+    negative_indices: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.anchor_indices)
+
+
+def semi_hard_triplets(
+    anchor_embeddings: np.ndarray,
+    positive_embeddings: np.ndarray,
+    negative_embeddings: np.ndarray,
+    margin: float = 0.5,
+    max_triplets: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TripletBatch:
+    """Select one negative per (anchor, positive) pair under semi-hard rules.
+
+    ``anchor_embeddings[i]`` and ``positive_embeddings[i]`` are a positive
+    pair; negatives are drawn from ``negative_embeddings`` (any row may serve
+    any anchor).  Returns index triples; pairs with no usable negative are
+    omitted.
+    """
+    rng = rng or np.random.default_rng(0)
+    n_pairs = anchor_embeddings.shape[0]
+    if n_pairs == 0 or negative_embeddings.shape[0] == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return TripletBatch(empty, empty.copy(), empty.copy())
+
+    dist_ap = np.sum((anchor_embeddings - positive_embeddings) ** 2, axis=1)
+    dist_an = pairwise_squared_distances(anchor_embeddings, negative_embeddings)
+    # loss[i, j] for pairing anchor i with negative j
+    losses = dist_ap[:, None] - dist_an + margin
+
+    anchors: List[int] = []
+    positives: List[int] = []
+    negatives: List[int] = []
+    for pair_index in range(n_pairs):
+        row = losses[pair_index]
+        semi_hard = np.where((row > 0.0) & (row < margin))[0]
+        if semi_hard.size:
+            chosen = int(rng.choice(semi_hard))
+        else:
+            active = np.where(row > 0.0)[0]
+            if not active.size:
+                continue
+            # hardest among the active (largest loss), to keep learning moving
+            chosen = int(active[np.argmax(row[active])])
+        anchors.append(pair_index)
+        positives.append(pair_index)
+        negatives.append(chosen)
+
+    if max_triplets is not None and len(anchors) > max_triplets:
+        keep = rng.choice(len(anchors), size=max_triplets, replace=False)
+        anchors = [anchors[i] for i in keep]
+        positives = [positives[i] for i in keep]
+        negatives = [negatives[i] for i in keep]
+
+    return TripletBatch(
+        np.asarray(anchors, dtype=np.int64),
+        np.asarray(positives, dtype=np.int64),
+        np.asarray(negatives, dtype=np.int64),
+    )

@@ -1,0 +1,73 @@
+"""JSON (de)serialization of workbooks.
+
+The paper operates on ``.xlsx`` files; this reproduction stores workbooks in
+a simple JSON layout so corpora can be persisted and reloaded without any
+binary spreadsheet tooling.  The format keeps only non-empty cells keyed by
+their A1 address.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.sheet.addressing import parse_cell_address
+from repro.sheet.cell import Cell
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+FORMAT_VERSION = 1
+
+
+def sheet_to_dict(sheet: Sheet) -> Dict[str, object]:
+    """Serialize a :class:`Sheet` to a JSON-friendly dictionary."""
+    return {
+        "name": sheet.name,
+        "cells": {addr.to_a1(): cell.to_dict() for addr, cell in sheet.cells()},
+    }
+
+
+def sheet_from_dict(data: Dict[str, object]) -> Sheet:
+    """Reconstruct a :class:`Sheet` from :func:`sheet_to_dict` output."""
+    sheet = Sheet(str(data.get("name", "Sheet1")))
+    cells = data.get("cells", {})
+    if isinstance(cells, dict):
+        for a1, cell_data in cells.items():
+            sheet.set_cell(parse_cell_address(a1), Cell.from_dict(cell_data))
+    return sheet
+
+
+def workbook_to_dict(workbook: Workbook) -> Dict[str, object]:
+    """Serialize a :class:`Workbook` to a JSON-friendly dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": workbook.name,
+        "last_modified": workbook.last_modified,
+        "sheets": [sheet_to_dict(sheet) for sheet in workbook],
+    }
+
+
+def workbook_from_dict(data: Dict[str, object]) -> Workbook:
+    """Reconstruct a :class:`Workbook` from :func:`workbook_to_dict` output."""
+    workbook = Workbook(
+        name=str(data.get("name", "workbook")),
+        last_modified=float(data.get("last_modified", 0.0)),
+    )
+    for sheet_data in data.get("sheets", []):
+        workbook.add_sheet(sheet_from_dict(sheet_data))
+    return workbook
+
+
+def save_workbook_json(workbook: Workbook, path: Union[str, Path]) -> None:
+    """Write a workbook to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(workbook_to_dict(workbook), handle, ensure_ascii=False)
+
+
+def load_workbook_json(path: Union[str, Path]) -> Workbook:
+    """Read a workbook previously written by :func:`save_workbook_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return workbook_from_dict(json.load(handle))

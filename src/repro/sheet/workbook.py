@@ -1,0 +1,77 @@
+"""The :class:`Workbook`: an ordered collection of named sheets.
+
+Workbooks correspond to ``.xlsx`` files in the paper.  The ordered sequence
+of sheet names is the signal used by the weak-supervision hypothesis test
+(Section 4.2), so the workbook preserves insertion order and exposes the
+name sequence directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.sheet.sheet import Sheet
+
+
+class Workbook:
+    """An ordered collection of :class:`Sheet` objects with unique names."""
+
+    def __init__(self, name: str = "workbook", last_modified: float = 0.0) -> None:
+        #: Workbook (file) name, e.g. ``"fy23_budget.xlsx"``.
+        self.name = name
+        #: Last-modified timestamp (seconds); used for timestamp-based splits.
+        self.last_modified = last_modified
+        self._sheets: Dict[str, Sheet] = {}
+
+    # ------------------------------------------------------------------ sheets
+
+    def add_sheet(self, sheet_or_name) -> Sheet:
+        """Add a sheet (or create one by name) and return it."""
+        sheet = sheet_or_name if isinstance(sheet_or_name, Sheet) else Sheet(str(sheet_or_name))
+        if sheet.name in self._sheets:
+            raise ValueError(f"duplicate sheet name: {sheet.name!r}")
+        self._sheets[sheet.name] = sheet
+        return sheet
+
+    def get_sheet(self, name: str) -> Sheet:
+        """Return the sheet called ``name`` (raises ``KeyError`` if missing)."""
+        return self._sheets[name]
+
+    def remove_sheet(self, name: str) -> None:
+        """Remove the sheet called ``name`` if present."""
+        self._sheets.pop(name, None)
+
+    def __getitem__(self, name: str) -> Sheet:
+        return self.get_sheet(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sheets
+
+    def __iter__(self) -> Iterator[Sheet]:
+        return iter(self._sheets.values())
+
+    def __len__(self) -> int:
+        return len(self._sheets)
+
+    @property
+    def sheets(self) -> List[Sheet]:
+        """Sheets in insertion order."""
+        return list(self._sheets.values())
+
+    @property
+    def sheet_names(self) -> List[str]:
+        """Sheet names in insertion order (the weak-supervision signal)."""
+        return list(self._sheets.keys())
+
+    # ------------------------------------------------------------------- stats
+
+    def n_formulas(self) -> int:
+        """Total number of formula cells across all sheets."""
+        return sum(sheet.n_formulas() for sheet in self._sheets.values())
+
+    def n_cells(self) -> int:
+        """Total number of stored cells across all sheets."""
+        return sum(sheet.n_cells for sheet in self._sheets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Workbook(name={self.name!r}, sheets={self.sheet_names})"

@@ -1,0 +1,38 @@
+"""Weakly-supervised training-data generation (Section 4.2-4.3).
+
+Positive and negative examples of *similar sheets* and *similar regions*
+are harvested automatically from a corpus of workbooks:
+
+* the sheet-name **hypothesis test** marks two workbooks' sheets as similar
+  when their sheet-name sequences match exactly and the probability of that
+  match under a null model of independent name draws is below ``alpha``;
+* **positive region pairs** come from identical formulas at identical
+  locations on similar sheets; **negative region pairs** shift one side to a
+  different formula;
+* **data augmentation** perturbs positive pairs by deleting a small random
+  fraction of rows/columns, so the models generalize across sheets of
+  different sizes.
+"""
+
+from repro.weaksup.name_statistics import SheetNameStatistics
+from repro.weaksup.hypothesis import HypothesisTest, HypothesisResult
+from repro.weaksup.pairs import (
+    SheetPair,
+    RegionPair,
+    TrainingPairs,
+    generate_training_pairs,
+)
+from repro.weaksup.augmentation import AugmentationConfig, augment_sheet, augment_region_sheet
+
+__all__ = [
+    "SheetNameStatistics",
+    "HypothesisTest",
+    "HypothesisResult",
+    "SheetPair",
+    "RegionPair",
+    "TrainingPairs",
+    "generate_training_pairs",
+    "AugmentationConfig",
+    "augment_sheet",
+    "augment_region_sheet",
+]

@@ -1,0 +1,90 @@
+"""Training-data augmentation by row/column deletion (Section 4.3).
+
+Positive pairs stay positive when a small fraction of rows/columns is
+removed from one side: two sheets generated from the same template remain
+"similar" even after users insert or delete a few rows.  Sheet-level
+augmentation removes arbitrary rows/columns; region-level augmentation only
+trims bottom rows and right-most columns so headers and entity columns stay
+intact, following the paper's recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sheet.sheet import Sheet
+
+
+@dataclass
+class AugmentationConfig:
+    """Controls the augmentation policy.
+
+    ``max_removal_fraction`` is the upper bound of the per-sheet random
+    removal probability ``p`` (the paper randomizes ``p`` in 0-10 %);
+    ``region_fraction`` is the share of region pairs that get augmented
+    (the paper augments a 20 % subset for regions).
+    """
+
+    enabled: bool = True
+    augment_sheets: bool = True
+    augment_regions: bool = True
+    max_removal_fraction: float = 0.10
+    region_fraction: float = 0.20
+
+
+def augment_sheet(sheet: Sheet, rng: np.random.Generator, max_fraction: float = 0.10) -> Sheet:
+    """Randomly delete rows and columns anywhere in the sheet.
+
+    Each row/column is dropped independently with probability ``p``, where
+    ``p`` itself is drawn uniformly from ``[0, max_fraction]``.
+    """
+    probability = float(rng.uniform(0.0, max_fraction))
+    augmented = sheet.copy()
+    if probability <= 0.0 or augmented.n_rows <= 2 or augmented.n_cols <= 1:
+        return augmented
+
+    rows_to_drop = [row for row in range(augmented.n_rows) if rng.random() < probability]
+    for row in reversed(rows_to_drop):
+        if augmented.n_rows > 2:
+            augmented.delete_rows(row)
+    cols_to_drop = [col for col in range(augmented.n_cols) if rng.random() < probability]
+    for col in reversed(cols_to_drop):
+        if augmented.n_cols > 1:
+            augmented.delete_cols(col)
+    return augmented
+
+
+def augment_region_sheet(
+    sheet: Sheet,
+    rng: np.random.Generator,
+    max_fraction: float = 0.10,
+    protect_rows: Optional[int] = None,
+    protect_cols: Optional[int] = None,
+) -> Sheet:
+    """Delete only bottom-most rows and right-most columns.
+
+    ``protect_rows`` / ``protect_cols`` bound how far up/left the deletion
+    may reach (defaults keep at least the top half of the sheet intact), so
+    table structure such as headers survives, per Section 4.3.
+    """
+    probability = float(rng.uniform(0.0, max_fraction))
+    augmented = sheet.copy()
+    if probability <= 0.0 or augmented.n_rows <= 2 or augmented.n_cols <= 1:
+        return augmented
+
+    protected_rows = protect_rows if protect_rows is not None else max(1, augmented.n_rows // 2)
+    protected_cols = protect_cols if protect_cols is not None else max(1, augmented.n_cols // 2)
+
+    max_row_removals = max(0, augmented.n_rows - protected_rows)
+    n_row_removals = int(rng.binomial(max_row_removals, probability)) if max_row_removals else 0
+    if n_row_removals:
+        augmented.delete_rows(augmented.n_rows - n_row_removals, n_row_removals)
+
+    max_col_removals = max(0, augmented.n_cols - protected_cols)
+    n_col_removals = int(rng.binomial(max_col_removals, probability)) if max_col_removals else 0
+    if n_col_removals:
+        augmented.delete_cols(augmented.n_cols - n_col_removals, n_col_removals)
+    return augmented

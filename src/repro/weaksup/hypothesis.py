@@ -1,0 +1,73 @@
+"""The sheet-name hypothesis test for similar-workbook detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sheet.workbook import Workbook
+from repro.weaksup.name_statistics import SheetNameStatistics
+
+
+@dataclass(frozen=True)
+class HypothesisResult:
+    """Outcome of testing whether two workbooks are similar.
+
+    ``similar`` is True when the null hypothesis ("the name match is a
+    coincidence") is rejected, i.e. ``p_value <= alpha``.
+    """
+
+    similar: bool
+    p_value: float
+    names_match: bool
+
+
+class HypothesisTest:
+    """Tests pairs of workbooks for similarity via their sheet-name sequences.
+
+    Two workbooks are candidates only if they contain the same number of
+    sheets and the sheet names match 1-to-1 in order; the match is accepted
+    as non-coincidental when the product of per-name probabilities is at
+    most ``alpha`` (default 0.05, the paper's significance threshold).
+    """
+
+    def __init__(self, statistics: SheetNameStatistics, alpha: float = 0.05) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self._statistics = statistics
+        self.alpha = alpha
+
+    @property
+    def statistics(self) -> SheetNameStatistics:
+        """The underlying name-frequency model."""
+        return self._statistics
+
+    def names_match(self, left: Workbook, right: Workbook) -> bool:
+        """Whether the two workbooks' sheet-name sequences match exactly."""
+        left_names = [name.strip().lower() for name in left.sheet_names]
+        right_names = [name.strip().lower() for name in right.sheet_names]
+        return bool(left_names) and left_names == right_names
+
+    def shares_any_name(self, left: Workbook, right: Workbook) -> bool:
+        """Whether the two workbooks share even one sheet name.
+
+        Used for the stricter negative-sampling rule: negatives are only
+        drawn from workbook pairs with zero overlapping names.
+        """
+        left_names = {name.strip().lower() for name in left.sheet_names}
+        right_names = {name.strip().lower() for name in right.sheet_names}
+        return bool(left_names & right_names)
+
+    def test(self, left: Workbook, right: Workbook) -> HypothesisResult:
+        """Run the hypothesis test on a pair of workbooks."""
+        if not self.names_match(left, right):
+            return HypothesisResult(similar=False, p_value=1.0, names_match=False)
+        p_value = self._statistics.sequence_probability(left.sheet_names)
+        return HypothesisResult(
+            similar=p_value <= self.alpha, p_value=p_value, names_match=True
+        )
+
+    def p_value(self, left: Workbook, right: Workbook) -> Optional[float]:
+        """The p-value for a matching pair, or ``None`` if names differ."""
+        result = self.test(left, right)
+        return result.p_value if result.names_match else None

@@ -1,0 +1,73 @@
+"""Sheet-name frequency statistics over a workbook universe."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.sheet.workbook import Workbook
+
+
+class SheetNameStatistics:
+    """Empirical probabilities of sheet names across a corpus.
+
+    ``probability(name)`` is the chance that a sheet drawn uniformly at
+    random from the universe carries that name (Section 4.2).  Unseen names
+    get a smoothed probability of ``1 / (total + 1)`` so the hypothesis test
+    treats them as very rare rather than impossible.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._total_sheets = 0
+
+    @classmethod
+    def from_workbooks(cls, workbooks: Iterable[Workbook]) -> "SheetNameStatistics":
+        """Build statistics by counting every sheet in ``workbooks``."""
+        stats = cls()
+        for workbook in workbooks:
+            stats.add_workbook(workbook)
+        return stats
+
+    def add_workbook(self, workbook: Workbook) -> None:
+        """Incorporate one workbook's sheet names."""
+        for name in workbook.sheet_names:
+            self._counts[self._normalize(name)] += 1
+            self._total_sheets += 1
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return name.strip().lower()
+
+    @property
+    def total_sheets(self) -> int:
+        """Total number of sheets counted."""
+        return self._total_sheets
+
+    def frequency(self, name: str) -> int:
+        """Raw occurrence count of ``name``."""
+        return self._counts.get(self._normalize(name), 0)
+
+    def probability(self, name: str) -> float:
+        """Probability of drawing a sheet with this name from the universe."""
+        if self._total_sheets == 0:
+            return 1.0
+        count = self._counts.get(self._normalize(name), 0)
+        if count == 0:
+            return 1.0 / (self._total_sheets + 1)
+        return count / self._total_sheets
+
+    def sequence_probability(self, names: Sequence[str]) -> float:
+        """Probability of an exact match of a whole sheet-name sequence.
+
+        The independence assumption of the paper's null model: the
+        probability is the product of per-name probabilities.
+        """
+        probability = 1.0
+        for name in names:
+            probability *= self.probability(name)
+        return probability
+
+    def most_common(self, n: int = 10):
+        """The ``n`` most frequent names with their counts (for reports)."""
+        return self._counts.most_common(n)

@@ -1,0 +1,84 @@
+"""Shared fixtures: small corpora and a session-scoped trained encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_enterprise_corpus, build_training_universe
+from repro.features import FeatureConfig
+from repro.models import ModelConfig, TrainingConfig, train_models
+from repro.sheet import Sheet, Workbook
+from repro.weaksup import generate_training_pairs
+
+
+@pytest.fixture(scope="session")
+def training_universe():
+    """A small training universe of workbook families plus singletons."""
+    return build_training_universe(n_families=6, copies_per_family=3, n_singletons=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def training_pairs(training_universe):
+    """Weak-supervision pairs harvested from the training universe."""
+    return generate_training_pairs(training_universe, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_encoder(training_pairs):
+    """A trained SheetEncoder, shared across the whole test session.
+
+    Training is intentionally small (few epochs, small window) so the full
+    suite stays fast; individual tests that need an untrained encoder build
+    their own.
+    """
+    model_config = ModelConfig(features=FeatureConfig(window_rows=20, window_cols=8))
+    training_config = TrainingConfig(epochs=6, seed=0)
+    encoder, __ = train_models(training_pairs, model_config, training_config)
+    return encoder
+
+
+@pytest.fixture(scope="session")
+def pge_corpus():
+    """The synthetic PGE enterprise corpus (highly templated)."""
+    return build_enterprise_corpus("PGE")
+
+
+@pytest.fixture(scope="session")
+def cisco_corpus():
+    """The synthetic Cisco enterprise corpus (many singletons)."""
+    return build_enterprise_corpus("Cisco")
+
+
+@pytest.fixture()
+def survey_sheet() -> Sheet:
+    """A small hand-built sheet mirroring the paper's Figure 1 example."""
+    sheet = Sheet("Responses")
+    sheet.set("A1", "Color survey")
+    sheet.set("C6", "Answer")
+    colors = ["Brown", "Green", "Blue"]
+    for offset in range(30):
+        sheet.set((6 + offset, 2), colors[offset % 3])
+    sheet.set("C41", "Brown")
+    sheet.set("D41", formula="=COUNTIF(C7:C37,C41)")
+    return sheet
+
+
+@pytest.fixture()
+def simple_workbook() -> Workbook:
+    """A two-sheet workbook with values, formulas and styles."""
+    workbook = Workbook(name="simple.xlsx", last_modified=123.0)
+    first = workbook.add_sheet("Data")
+    for row in range(5):
+        first.set((row + 1, 0), f"item {row}")
+        first.set((row + 1, 1), float(row + 1))
+    first.set("B7", formula="=SUM(B2:B6)")
+    second = workbook.add_sheet("Notes")
+    second.set("A1", "notes go here")
+    return workbook
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests that need randomness."""
+    return np.random.default_rng(42)

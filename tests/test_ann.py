@@ -1,0 +1,136 @@
+"""Tests for the ANN index substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ann import ExactIndex, IVFIndex, LSHIndex, create_index
+
+
+def _random_vectors(n: int, dim: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, dim)).astype(np.float32)
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+@pytest.fixture(params=["exact", "lsh", "ivf"])
+def index_factory(request):
+    kind = request.param
+
+    def factory(dimension: int):
+        return create_index(kind, dimension)
+
+    factory.kind = kind
+    return factory
+
+
+class TestIndexContract:
+    def test_empty_index_returns_nothing(self, index_factory):
+        index = index_factory(8)
+        assert index.search(np.zeros(8, dtype=np.float32), k=3) == []
+
+    def test_self_query_returns_self(self, index_factory):
+        index = index_factory(16)
+        vectors = _random_vectors(50, 16)
+        index.add_batch(list(range(50)), vectors)
+        for position in [0, 10, 49]:
+            hits = index.search(vectors[position], k=1)
+            assert hits[0].key == position
+            assert hits[0].distance == pytest.approx(0.0, abs=1e-5)
+
+    def test_k_limits_results(self, index_factory):
+        index = index_factory(8)
+        vectors = _random_vectors(20, 8)
+        index.add_batch(list(range(20)), vectors)
+        assert len(index.search(vectors[0], k=5)) == 5
+        assert len(index.search(vectors[0], k=100)) <= 20
+
+    def test_results_sorted_by_distance(self, index_factory):
+        index = index_factory(8)
+        vectors = _random_vectors(30, 8)
+        index.add_batch(list(range(30)), vectors)
+        hits = index.search(vectors[3], k=10)
+        distances = [hit.distance for hit in hits]
+        assert distances == sorted(distances)
+
+    def test_dimension_mismatch_rejected(self, index_factory):
+        index = index_factory(8)
+        with pytest.raises(ValueError):
+            index.add("x", np.zeros(9, dtype=np.float32))
+        index.add("x", np.zeros(8, dtype=np.float32))
+        with pytest.raises(ValueError):
+            index.search(np.zeros(9, dtype=np.float32), k=1)
+
+    def test_arbitrary_keys(self, index_factory):
+        index = index_factory(4)
+        index.add(("sheet", 3), np.ones(4, dtype=np.float32))
+        hits = index.search(np.ones(4, dtype=np.float32), k=1)
+        assert hits[0].key == ("sheet", 3)
+
+    def test_len(self, index_factory):
+        index = index_factory(4)
+        index.add_batch(["a", "b"], _random_vectors(2, 4))
+        assert len(index) == 2
+
+
+class TestApproximateRecall:
+    @staticmethod
+    def _clustered_vectors(n: int, dim: int, n_clusters: int = 12, seed: int = 1) -> np.ndarray:
+        """Clustered vectors, the regime embedding corpora actually live in."""
+        rng = np.random.default_rng(seed)
+        centroids = rng.standard_normal((n_clusters, dim)).astype(np.float32)
+        assignment = rng.integers(0, n_clusters, size=n)
+        vectors = centroids[assignment] + 0.15 * rng.standard_normal((n, dim)).astype(np.float32)
+        return (vectors / np.linalg.norm(vectors, axis=1, keepdims=True)).astype(np.float32)
+
+    def _recall_at_5(self, approximate_index, vectors: np.ndarray, n_queries: int = 30) -> float:
+        exact = ExactIndex(vectors.shape[1])
+        exact.add_batch(list(range(len(vectors))), vectors)
+        approximate_index.add_batch(list(range(len(vectors))), vectors)
+        hits = 0
+        for query in vectors[:n_queries]:
+            truth = {hit.key for hit in exact.search(query, k=5)}
+            approx = {hit.key for hit in approximate_index.search(query, k=5)}
+            hits += len(truth & approx)
+        return hits / (n_queries * 5)
+
+    def test_lsh_recall_against_exact(self):
+        vectors = self._clustered_vectors(400, 32)
+        assert self._recall_at_5(LSHIndex(32, n_tables=12, n_bits=8, seed=0), vectors) > 0.6
+
+    def test_ivf_recall_against_exact(self):
+        vectors = self._clustered_vectors(400, 32)
+        assert self._recall_at_5(IVFIndex(32, n_clusters=16, n_probe=4, seed=0), vectors) > 0.6
+
+    def test_small_indexes_fall_back_to_exact(self):
+        dim = 16
+        vectors = _random_vectors(5, dim)
+        for index in (LSHIndex(dim), IVFIndex(dim)):
+            index.add_batch(list(range(5)), vectors)
+            hits = index.search(vectors[2], k=1)
+            assert hits[0].key == 2
+
+    def test_ivf_rebuilds_after_additions(self):
+        dim = 8
+        index = IVFIndex(dim, n_clusters=4, n_probe=2)
+        first = _random_vectors(40, dim, seed=3)
+        index.add_batch(list(range(40)), first)
+        index.search(first[0], k=1)  # trains the index
+        extra = _random_vectors(10, dim, seed=4)
+        index.add_batch(list(range(40, 50)), extra)
+        hits = index.search(extra[5], k=1)
+        assert hits[0].key == 45
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert isinstance(create_index("exact", 4), ExactIndex)
+        assert isinstance(create_index("lsh", 4), LSHIndex)
+        assert isinstance(create_index("ivf", 4), IVFIndex)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            create_index("hnsw", 4)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            ExactIndex(0)

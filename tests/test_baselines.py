@@ -1,0 +1,265 @@
+"""Tests for the baseline predictors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MondrianBaseline,
+    MondrianConfig,
+    PromptConfig,
+    SimulatedLLMBaseline,
+    SpreadsheetCoderBaseline,
+    WeakSupervisionBaseline,
+    all_prompt_variants,
+)
+from repro.baselines.common import (
+    column_header,
+    copy_formula_to,
+    nearest_formula_cell,
+    numeric_run_above,
+    row_label,
+)
+from repro.baselines.mondrian import extract_regions, sheet_similarity
+from repro.corpus import sample_test_cases, split_corpus
+from repro.evaluation import run_method_on_cases
+from repro.sheet import CellAddress, Sheet, Workbook
+
+
+@pytest.fixture(scope="module")
+def pge_workload(pge_corpus):
+    test, reference = split_corpus(pge_corpus, 0.15, "timestamp")
+    return sample_test_cases("PGE", test, seed=0), reference
+
+
+@pytest.fixture()
+def totals_sheet() -> Sheet:
+    sheet = Sheet("Report")
+    sheet.set("A1", "Item")
+    sheet.set("B1", "Amount")
+    for row in range(1, 6):
+        sheet.set((row, 0), f"item {row}")
+        sheet.set((row, 1), float(row * 10))
+    sheet.set("A7", "Total")
+    return sheet
+
+
+class TestCommonHelpers:
+    def test_nearest_formula_cell(self):
+        sheet = Sheet()
+        sheet.set("A1", formula="=SUM(B1:B2)")
+        sheet.set("D9", formula="=MAX(B1:B2)")
+        address, formula = nearest_formula_cell(sheet, CellAddress(8, 3))
+        assert address.to_a1() == "D9"
+        assert "MAX" in formula
+
+    def test_nearest_formula_cell_empty_sheet(self):
+        assert nearest_formula_cell(Sheet(), CellAddress(0, 0)) is None
+
+    def test_copy_formula_shifts_references(self):
+        result = copy_formula_to("=SUM(B2:B6)", CellAddress(6, 1), CellAddress(9, 1))
+        assert result == "=SUM(B5:B9)"
+
+    def test_copy_formula_off_sheet_returns_none(self):
+        assert copy_formula_to("=SUM(A1:A3)", CellAddress(5, 0), CellAddress(0, 0)) is None
+
+    def test_numeric_run_above(self, totals_sheet):
+        run = numeric_run_above(totals_sheet, CellAddress(6, 1))
+        assert run is not None
+        assert run[0].to_a1() == "B2"
+        assert run[1].to_a1() == "B6"
+
+    def test_numeric_run_above_none_when_no_numbers(self, totals_sheet):
+        assert numeric_run_above(totals_sheet, CellAddress(6, 3)) is None
+
+    def test_row_label_and_column_header(self, totals_sheet):
+        assert row_label(totals_sheet, CellAddress(6, 1)) == "Total"
+        assert column_header(totals_sheet, CellAddress(3, 1)) == "Amount"
+
+
+class TestWeakSupervisionBaseline:
+    def test_requires_confident_sheet_name(self, pge_workload):
+        cases, reference = pge_workload
+        baseline = WeakSupervisionBaseline()
+        baseline.fit(reference)
+        common = Sheet("Sheet1")
+        common.set("A1", 1)
+        assert baseline.predict(common, CellAddress(5, 0)) is None
+
+    def test_predicts_from_matching_sheet_name(self):
+        reference = Workbook("ref.xlsx")
+        sheet = reference.add_sheet("Quarterly Widget Report")
+        for row in range(5):
+            sheet.set((row + 1, 1), row + 1.0)
+        sheet.set("B7", formula="=SUM(B2:B6)")
+        fillers = []
+        for index in range(20):  # make the name rare relative to the universe
+            filler = Workbook(f"filler_{index}.xlsx")
+            filler.add_sheet(f"Other {index}")
+            fillers.append(filler)
+        baseline = WeakSupervisionBaseline()
+        baseline.fit([reference] + fillers)
+
+        target = Sheet("Quarterly Widget Report")
+        for row in range(5):
+            target.set((row + 1, 1), row + 2.0)
+        prediction = baseline.predict(target, CellAddress(6, 1))
+        assert prediction is not None
+        assert prediction.formula == "=SUM(B2:B6)"
+
+    def test_quality_profile_high_precision_low_recall(self, pge_workload, trained_encoder):
+        from repro.core import AutoFormula, AutoFormulaConfig
+
+        cases, reference = pge_workload
+        weak = run_method_on_cases(WeakSupervisionBaseline(), reference, cases, "PGE")
+        auto = run_method_on_cases(
+            AutoFormula(trained_encoder, AutoFormulaConfig()), reference, cases, "PGE"
+        )
+        assert weak.metrics.recall <= auto.metrics.recall
+
+
+class TestMondrianBaseline:
+    def test_extract_regions_groups_same_type_blocks(self, totals_sheet):
+        regions = extract_regions(totals_sheet)
+        assert len(regions) >= 2
+        types = {region.cell_type for region in regions}
+        assert "text" in types and "numeric" in types
+
+    def test_sheet_similarity_self_is_high(self, totals_sheet):
+        regions = extract_regions(totals_sheet)
+        assert sheet_similarity(regions, regions) > 0.9
+
+    def test_sheet_similarity_disjoint_types_low(self):
+        numbers = Sheet()
+        text = Sheet()
+        for row in range(5):
+            numbers.set((row, 0), row)
+            text.set((row, 0), f"word {row}")
+        assert sheet_similarity(extract_regions(numbers), extract_regions(text)) < 0.3
+
+    def test_predicts_on_templated_corpus(self, pge_workload):
+        cases, reference = pge_workload
+        run = run_method_on_cases(MondrianBaseline(), reference, cases, "PGE")
+        assert run.metrics.recall > 0.1
+
+    def test_fit_timeout_raises(self, pge_workload):
+        __, reference = pge_workload
+        baseline = MondrianBaseline(MondrianConfig(fit_timeout_seconds=0.0))
+        with pytest.raises(TimeoutError):
+            baseline.fit(reference)
+
+    def test_empty_reference(self):
+        baseline = MondrianBaseline()
+        baseline.fit([])
+        assert baseline.predict(Sheet(), CellAddress(0, 0)) is None
+
+
+class TestSpreadsheetCoderBaseline:
+    def test_total_label_gives_sum(self, totals_sheet):
+        baseline = SpreadsheetCoderBaseline()
+        baseline.fit([])
+        prediction = baseline.predict(totals_sheet, CellAddress(6, 1))
+        assert prediction is not None
+        assert prediction.formula == "=SUM(B2:B6)"
+
+    def test_average_label(self, totals_sheet):
+        totals_sheet.set("B7", 150.0)  # the filled-in total, extending the numeric run
+        totals_sheet.set("A8", "Average amount")
+        baseline = SpreadsheetCoderBaseline()
+        baseline.fit([])
+        prediction = baseline.predict(totals_sheet, CellAddress(7, 1))
+        assert prediction is not None
+        assert prediction.formula.startswith("=AVERAGE(")
+
+    def test_abstains_without_nl_cue(self, totals_sheet):
+        baseline = SpreadsheetCoderBaseline()
+        baseline.fit([])
+        assert baseline.predict(totals_sheet, CellAddress(20, 5)) is None
+
+    def test_cannot_predict_multi_parameter_formulas(self, survey_sheet):
+        """The defining weakness: COUNTIF with two parameters is out of reach."""
+        baseline = SpreadsheetCoderBaseline()
+        baseline.fit([])
+        target = survey_sheet.copy()
+        target.set("D41", value=None, formula=None)
+        prediction = baseline.predict(target, CellAddress(40, 3))
+        if prediction is not None:
+            assert "COUNTIF" not in prediction.formula
+
+    def test_learns_keyword_priors_from_corpus(self, pge_workload):
+        cases, reference = pge_workload
+        baseline = SpreadsheetCoderBaseline()
+        baseline.fit(reference)
+        assert baseline._keyword_priors  # learned something
+
+    def test_worse_than_autoformula_on_corpus(self, pge_workload, trained_encoder):
+        from repro.core import AutoFormula, AutoFormulaConfig
+
+        cases, reference = pge_workload
+        coder = run_method_on_cases(SpreadsheetCoderBaseline(), reference, cases, "PGE")
+        auto = run_method_on_cases(
+            AutoFormula(trained_encoder, AutoFormulaConfig()), reference, cases, "PGE"
+        )
+        assert coder.metrics.f1 < auto.metrics.f1
+
+
+class TestSimulatedLLMBaseline:
+    def test_prompt_grid_has_24_variants(self):
+        variants = all_prompt_variants()
+        assert len(variants) == 24
+        assert len({variant.label() for variant in variants}) == 24
+
+    def test_zero_shot_weak(self, pge_workload):
+        cases, reference = pge_workload
+        run = run_method_on_cases(
+            SimulatedLLMBaseline(PromptConfig("zero_shot", False, "precise", "gpt-3.5")),
+            reference,
+            cases,
+            "PGE",
+        )
+        assert run.metrics.f1 < 0.2
+
+    def test_rag_better_than_zero_shot(self, pge_workload):
+        cases, reference = pge_workload
+        zero = run_method_on_cases(
+            SimulatedLLMBaseline(PromptConfig("zero_shot", True, "precise", "gpt-4")),
+            reference,
+            cases,
+            "PGE",
+        )
+        rag = run_method_on_cases(
+            SimulatedLLMBaseline(PromptConfig("few_shot_rag", True, "precise", "gpt-4")),
+            reference,
+            cases,
+            "PGE",
+        )
+        assert rag.metrics.f1 > zero.metrics.f1
+
+    def test_rag_worse_than_autoformula(self, pge_workload, trained_encoder):
+        from repro.core import AutoFormula, AutoFormulaConfig
+
+        cases, reference = pge_workload
+        rag = run_method_on_cases(
+            SimulatedLLMBaseline(PromptConfig("few_shot_rag", False, "precise", "gpt-4")),
+            reference,
+            cases,
+            "PGE",
+        )
+        auto = run_method_on_cases(
+            AutoFormula(trained_encoder, AutoFormulaConfig()), reference, cases, "PGE"
+        )
+        assert rag.metrics.f1 < auto.metrics.f1
+
+    def test_rag_requires_fit(self):
+        baseline = SimulatedLLMBaseline(PromptConfig("few_shot_rag", False, "precise", "gpt-4"))
+        baseline.fit([])
+        assert baseline.predict(Sheet(), CellAddress(0, 0)) is None
+
+    def test_prediction_details_carry_variant(self, pge_workload):
+        cases, reference = pge_workload
+        baseline = SimulatedLLMBaseline(PromptConfig("few_shot_rag", False, "precise", "gpt-4"))
+        baseline.fit(reference)
+        for case in cases:
+            prediction = baseline.predict(case.target_sheet, case.target_cell)
+            if prediction is not None:
+                assert "variant" in prediction.details or "reference_formula" in prediction.details
+                break

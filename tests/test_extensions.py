@@ -1,0 +1,103 @@
+"""Tests for the auto-fill and error-detection extensions."""
+
+import pytest
+
+from repro.corpus import SurveyTemplate, split_corpus
+from repro.extensions import FormulaErrorDetector, ValueAutoFill
+from repro.sheet import CellAddress, Sheet, Workbook
+
+
+@pytest.fixture(scope="module")
+def pge_reference(pge_corpus):
+    __, reference = split_corpus(pge_corpus, 0.15, "timestamp")
+    return reference
+
+
+def _survey_pair(rng):
+    """Two survey workbooks from the same family (reference + audited copy)."""
+    template = SurveyTemplate(7, rng)
+    reference = template.instantiate(rng, 0)
+    audited = template.instantiate(rng, 1)
+    return reference, audited
+
+
+class TestValueAutoFill:
+    def test_requires_fit(self, trained_encoder):
+        autofill = ValueAutoFill(trained_encoder)
+        assert autofill.suggest(Sheet(), CellAddress(0, 0)) is None
+
+    def test_fills_header_cell_from_family_sheet(self, trained_encoder, rng):
+        reference, audited = _survey_pair(rng)
+        autofill = ValueAutoFill(trained_encoder, acceptance_threshold=2.0)
+        autofill.fit([reference])
+
+        target_sheet = audited.sheets[1].copy()
+        header_cell = CellAddress(5, 2)  # the "Answer" column header
+        expected = target_sheet.get(header_cell).value
+        target_sheet.set(header_cell, value=None)
+
+        suggestion = autofill.suggest(target_sheet, header_cell)
+        assert suggestion is not None
+        assert suggestion.value == expected
+        assert 0.0 <= suggestion.confidence <= 1.0
+        assert suggestion.reference_cell == header_cell.to_a1()
+
+    def test_returns_none_when_reference_cell_empty(self, trained_encoder, rng):
+        reference, audited = _survey_pair(rng)
+        autofill = ValueAutoFill(trained_encoder, acceptance_threshold=2.0)
+        autofill.fit([reference])
+        far_away = CellAddress(200, 7)
+        assert autofill.suggest(audited.sheets[1], far_away) is None
+
+    def test_threshold_controls_abstention(self, trained_encoder, rng, pge_reference):
+        reference, audited = _survey_pair(rng)
+        strict = ValueAutoFill(trained_encoder, acceptance_threshold=1e-6)
+        strict.fit(pge_reference)
+        target_sheet = audited.sheets[1].copy()
+        header_cell = CellAddress(5, 2)
+        target_sheet.set(header_cell, value=None)
+        assert strict.suggest(target_sheet, header_cell) is None
+
+
+class TestFormulaErrorDetector:
+    def test_requires_fit(self, trained_encoder):
+        detector = FormulaErrorDetector(trained_encoder)
+        assert detector.audit(Sheet()) == []
+
+    def test_consistent_sheet_has_no_anomalies(self, trained_encoder, rng):
+        reference, audited = _survey_pair(rng)
+        detector = FormulaErrorDetector(trained_encoder)
+        detector.fit([reference])
+        anomalies = detector.audit(audited.sheets[1])
+        assert anomalies == []
+
+    def test_detects_template_mismatch(self, trained_encoder, rng):
+        reference, audited = _survey_pair(rng)
+        audited_sheet = audited.sheets[1].copy()
+        # Corrupt one COUNTIF summary formula into a plain constant-SUM, the
+        # kind of copy/paste slip the detector is meant to catch.
+        corrupted_cell = None
+        for address, cell in audited_sheet.formula_cells():
+            if "COUNTIF" in (cell.formula or ""):
+                audited_sheet.set(address, formula="=SUM(A1:A2)", style=cell.style)
+                corrupted_cell = address
+                break
+        assert corrupted_cell is not None
+
+        detector = FormulaErrorDetector(trained_encoder)
+        detector.fit([reference])
+        anomalies = detector.audit(audited_sheet)
+        assert anomalies, "the corrupted formula should be flagged"
+        flagged_cells = {anomaly.cell for anomaly in anomalies}
+        assert corrupted_cell in flagged_cells
+        top = anomalies[0]
+        assert top.observed_template != top.expected_template
+        assert 0.0 <= top.severity <= 1.0
+
+    def test_audit_against_unrelated_corpus_is_quiet(self, trained_encoder, rng, pge_reference):
+        """Auditing a sheet against sheets that are not similar produces few flags."""
+        __, audited = _survey_pair(rng)
+        detector = FormulaErrorDetector(trained_encoder, max_region_distance=0.05)
+        detector.fit(pge_reference)
+        anomalies = detector.audit(audited.sheets[0])  # the Instructions sheet (no formulas)
+        assert anomalies == []

@@ -1,0 +1,84 @@
+"""Tests for formula classification (complexity and type buckets)."""
+
+import pytest
+
+from repro.formula import FormulaCategory, classify_formula, complexity_bucket, formula_complexity, functions_used
+from repro.formula.classify import row_bucket
+
+
+class TestFunctionsUsed:
+    def test_single_function(self):
+        assert functions_used("=SUM(A1:A5)") == ["SUM"]
+
+    def test_nested_functions_preorder(self):
+        assert functions_used("=ROUND(SUM(A1:A5),2)") == ["ROUND", "SUM"]
+
+    def test_no_functions(self):
+        assert functions_used("=A1+B1") == []
+
+
+class TestComplexity:
+    def test_simple_reference(self):
+        assert formula_complexity("=A1") == 1
+
+    def test_countif(self):
+        assert formula_complexity("=COUNTIF(C7:C37,C41)") == 3
+
+    def test_complexity_monotone_with_nesting(self):
+        assert formula_complexity("=SUM(A1:A5)") < formula_complexity("=ROUND(SUM(A1:A5)/COUNT(B1:B5),2)")
+
+    @pytest.mark.parametrize(
+        "formula,bucket",
+        [
+            ("=A1", "l<3"),
+            ("=A1+B1", "l=3"),
+            ("=ROUND(A1/B1,2)", "3<l<7"),
+            ("=IF(A1>B1,SUM(C1:C9),AVERAGE(D1:D9))", "7<=l<20"),
+        ],
+    )
+    def test_buckets(self, formula, bucket):
+        assert complexity_bucket(formula) == bucket
+
+    def test_large_bucket(self):
+        formula = "=IF(AND(A1>1,B1>1),SUM(C1:C9)+SUM(D1:D9)+SUM(E1:E9),CONCATENATE(F1,G1,H1,I1))"
+        assert complexity_bucket(formula) == "20<=l"
+
+
+class TestRowBuckets:
+    @pytest.mark.parametrize(
+        "rows,bucket",
+        [(10, "r<40"), (39, "r<40"), (40, "40<=r<60"), (75, "60<=r<100"), (150, "100<=r<250"), (600, "250<=r")],
+    )
+    def test_boundaries(self, rows, bucket):
+        assert row_bucket(rows) == bucket
+
+
+class TestTypeClassification:
+    @pytest.mark.parametrize(
+        "formula",
+        ["=IF(A1>B1,1,0)", "=COUNTIF(C1:C9,C10)", "=SUMIF(A1:A9,\">5\")", "=AND(A1,B1)", "=A1>B1"],
+    )
+    def test_conditional(self, formula):
+        assert classify_formula(formula) is FormulaCategory.CONDITIONAL
+
+    @pytest.mark.parametrize(
+        "formula", ["=SUM(A1:A5)", "=AVERAGE(A1:A5)", "=A1*B1", "=ROUND(A1,2)", "=MAX(A1:A5)"]
+    )
+    def test_math(self, formula):
+        assert classify_formula(formula) is FormulaCategory.MATH
+
+    @pytest.mark.parametrize(
+        "formula", ["=CONCATENATE(A1,B1)", "=LEFT(A1,3)", "=UPPER(A1)", '=A1&" units"']
+    )
+    def test_string(self, formula):
+        assert classify_formula(formula) is FormulaCategory.STRING
+
+    @pytest.mark.parametrize("formula", ["=YEAR(A1)", "=MONTH(A1)", "=DATE(2024,1,1)"])
+    def test_date(self, formula):
+        assert classify_formula(formula) is FormulaCategory.DATE
+
+    def test_other(self):
+        assert classify_formula("=A1") is FormulaCategory.OTHER
+
+    def test_conditional_takes_priority_over_math(self):
+        assert classify_formula("=IF(A1>0,SUM(B1:B9),0)") is FormulaCategory.CONDITIONAL

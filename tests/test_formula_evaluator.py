@@ -1,0 +1,206 @@
+"""Tests for the formula evaluator and the built-in function library."""
+
+import datetime
+
+import pytest
+
+from repro.formula import EvaluationError, FormulaEvaluator
+from repro.formula.functions import FunctionError, criterion_matcher
+from repro.sheet import Sheet
+
+
+@pytest.fixture()
+def data_sheet() -> Sheet:
+    sheet = Sheet("Data")
+    values = [10, 20, 30, 40, 50]
+    for index, value in enumerate(values):
+        sheet.set((index, 0), value)            # A1:A5 numbers
+        sheet.set((index, 1), f"item{index}")   # B1:B5 text
+    sheet.set("C1", "North")
+    sheet.set("C2", "South")
+    sheet.set("C3", "North")
+    sheet.set("C4", "East")
+    sheet.set("C5", "North")
+    sheet.set("D1", "2023-05-15")
+    return sheet
+
+
+@pytest.fixture()
+def evaluator(data_sheet) -> FormulaEvaluator:
+    return FormulaEvaluator(data_sheet)
+
+
+class TestAggregation:
+    def test_sum(self, evaluator):
+        assert evaluator.evaluate_formula("=SUM(A1:A5)") == 150
+
+    def test_sum_ignores_text(self, evaluator):
+        assert evaluator.evaluate_formula("=SUM(A1:B5)") == 150
+
+    def test_average(self, evaluator):
+        assert evaluator.evaluate_formula("=AVERAGE(A1:A5)") == 30
+
+    def test_count_vs_counta(self, evaluator):
+        assert evaluator.evaluate_formula("=COUNT(A1:B5)") == 5
+        assert evaluator.evaluate_formula("=COUNTA(A1:B5)") == 10
+
+    def test_countblank(self, evaluator):
+        assert evaluator.evaluate_formula("=COUNTBLANK(A1:A6)") == 1
+
+    def test_max_min_median(self, evaluator):
+        assert evaluator.evaluate_formula("=MAX(A1:A5)") == 50
+        assert evaluator.evaluate_formula("=MIN(A1:A5)") == 10
+        assert evaluator.evaluate_formula("=MEDIAN(A1:A5)") == 30
+
+    def test_product(self, evaluator):
+        assert evaluator.evaluate_formula("=PRODUCT(A1:A2)") == 200
+
+    def test_stdev_requires_two_values(self, evaluator):
+        with pytest.raises((FunctionError, EvaluationError)):
+            evaluator.evaluate_formula("=STDEV(A1:A1)")
+
+
+class TestConditionalAggregation:
+    def test_countif_value(self, evaluator):
+        assert evaluator.evaluate_formula('=COUNTIF(C1:C5,"North")') == 3
+
+    def test_countif_with_comparison(self, evaluator):
+        assert evaluator.evaluate_formula('=COUNTIF(A1:A5,">25")') == 3
+
+    def test_countif_cell_criterion(self, evaluator):
+        assert evaluator.evaluate_formula("=COUNTIF(C1:C5,C1)") == 3
+
+    def test_sumif_same_range(self, evaluator):
+        assert evaluator.evaluate_formula('=SUMIF(A1:A5,">25")') == 120
+
+    def test_sumif_separate_sum_range(self, evaluator):
+        assert evaluator.evaluate_formula('=SUMIF(C1:C5,"North",A1:A5)') == 10 + 30 + 50
+
+    def test_averageif(self, evaluator):
+        assert evaluator.evaluate_formula('=AVERAGEIF(C1:C5,"North",A1:A5)') == 30
+
+    def test_countifs(self, evaluator):
+        assert evaluator.evaluate_formula('=COUNTIFS(C1:C5,"North",A1:A5,">15")') == 2
+
+    def test_sumifs(self, evaluator):
+        assert evaluator.evaluate_formula('=SUMIFS(A1:A5,C1:C5,"North",A1:A5,">15")') == 80
+
+    def test_criterion_matcher_text_case_insensitive(self):
+        matcher = criterion_matcher("north")
+        assert matcher("North")
+        assert not matcher("South")
+
+    def test_criterion_matcher_not_equal(self):
+        matcher = criterion_matcher("<>North")
+        assert matcher("South")
+        assert not matcher("North")
+
+
+class TestLogicAndLookup:
+    def test_if(self, evaluator):
+        assert evaluator.evaluate_formula('=IF(A5>40,"big","small")') == "big"
+        assert evaluator.evaluate_formula('=IF(A1>40,"big","small")') == "small"
+
+    def test_and_or_not(self, evaluator):
+        assert evaluator.evaluate_formula("=AND(A1>5,A2>5)") is True
+        assert evaluator.evaluate_formula("=OR(A1>15,A2>15)") is True
+        assert evaluator.evaluate_formula("=NOT(A1>15)") is True
+
+    def test_iferror_catches_division_by_zero(self, evaluator):
+        assert evaluator.evaluate_formula('=IFERROR(A1/0,"fallback")') == "fallback"
+
+    def test_iferror_passthrough(self, evaluator):
+        assert evaluator.evaluate_formula("=IFERROR(A1/2,0)") == 5
+
+    def test_isblank_isnumber(self, evaluator):
+        assert evaluator.evaluate_formula("=ISBLANK(Z99)") is True
+        assert evaluator.evaluate_formula("=ISNUMBER(A1)") is True
+        assert evaluator.evaluate_formula("=ISNUMBER(B1)") is False
+
+    def test_vlookup(self, evaluator):
+        assert evaluator.evaluate_formula('=VLOOKUP("item2",B1:C5,2)') == "North"
+
+    def test_vlookup_missing_raises(self, evaluator):
+        with pytest.raises((FunctionError, EvaluationError)):
+            evaluator.evaluate_formula('=VLOOKUP("missing",B1:C5,2)')
+
+    def test_index_and_match(self, evaluator):
+        assert evaluator.evaluate_formula("=INDEX(A1:C5,2,3)") == "South"
+        assert evaluator.evaluate_formula('=MATCH("East",C1:C5,0)') == 4
+
+
+class TestMathTextDate:
+    def test_round_family(self, evaluator):
+        assert evaluator.evaluate_formula("=ROUND(A1/3,2)") == 3.33
+        assert evaluator.evaluate_formula("=ROUNDUP(A1/3,0)") == 4
+        assert evaluator.evaluate_formula("=ROUNDDOWN(A1/3,0)") == 3
+
+    def test_abs_sqrt_power_mod_int(self, evaluator):
+        assert evaluator.evaluate_formula("=ABS(0-A1)") == 10
+        assert evaluator.evaluate_formula("=SQRT(A2*A1/8)") == 5
+        assert evaluator.evaluate_formula("=POWER(2,5)") == 32
+        assert evaluator.evaluate_formula("=MOD(A3,7)") == 2
+        assert evaluator.evaluate_formula("=INT(7.9)") == 7
+
+    def test_string_functions(self, evaluator):
+        assert evaluator.evaluate_formula('=CONCATENATE(B1," / ",C1)') == "item0 / North"
+        assert evaluator.evaluate_formula("=LEFT(C1,2)") == "No"
+        assert evaluator.evaluate_formula("=RIGHT(C1,3)") == "rth"
+        assert evaluator.evaluate_formula("=MID(C1,2,3)") == "ort"
+        assert evaluator.evaluate_formula("=LEN(C1)") == 5
+        assert evaluator.evaluate_formula("=UPPER(B1)") == "ITEM0"
+        assert evaluator.evaluate_formula("=LOWER(C1)") == "north"
+        assert evaluator.evaluate_formula('=TRIM("  a  b  ")') == "a b"
+        assert evaluator.evaluate_formula('=SUBSTITUTE(C1,"North","N")') == "N"
+
+    def test_text_concatenation_operator(self, evaluator):
+        assert evaluator.evaluate_formula('=C1&"-"&A1') == "North-10"
+
+    def test_date_functions(self, evaluator):
+        assert evaluator.evaluate_formula("=YEAR(D1)") == 2023
+        assert evaluator.evaluate_formula("=MONTH(D1)") == 5
+        assert evaluator.evaluate_formula("=DAY(D1)") == 15
+        assert evaluator.evaluate_formula("=DATE(2024,2,29)") == datetime.date(2024, 2, 29)
+
+
+class TestEvaluatorMechanics:
+    def test_arithmetic_and_comparison(self, evaluator):
+        assert evaluator.evaluate_formula("=A1+A2*2") == 50
+        assert evaluator.evaluate_formula("=(A1+A2)*2") == 60
+        assert evaluator.evaluate_formula("=A1^2") == 100
+        assert evaluator.evaluate_formula("=A1<A2") is True
+        assert evaluator.evaluate_formula("=50%") == 0.5
+
+    def test_division_by_zero_raises(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate_formula("=A1/0")
+
+    def test_unknown_function_raises(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate_formula("=NOTAFUNCTION(A1)")
+
+    def test_transitive_formula_evaluation(self):
+        sheet = Sheet()
+        sheet.set("A1", 2)
+        sheet.set("A2", formula="=A1*10")
+        sheet.set("A3", formula="=A2+5")
+        assert FormulaEvaluator(sheet).evaluate_cell("A3") == 25
+
+    def test_circular_reference_detected(self):
+        sheet = Sheet()
+        sheet.set("A1", formula="=A2")
+        sheet.set("A2", formula="=A1")
+        with pytest.raises(EvaluationError):
+            FormulaEvaluator(sheet).evaluate_cell("A1")
+
+    def test_recalculate_writes_values(self):
+        sheet = Sheet()
+        sheet.set("A1", 3)
+        sheet.set("A2", 4)
+        sheet.set("A3", formula="=SUM(A1:A2)")
+        updated = FormulaEvaluator(sheet).recalculate()
+        assert updated == 1
+        assert sheet.get("A3").value == 7
+
+    def test_evaluate_cell_plain_value(self, data_sheet):
+        assert FormulaEvaluator(data_sheet).evaluate_cell("A1") == 10

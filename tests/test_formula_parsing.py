@@ -1,0 +1,171 @@
+"""Tests for the formula tokenizer and parser."""
+
+import pytest
+
+from repro.formula import (
+    BinaryOp,
+    CellReference,
+    FormulaSyntaxError,
+    FunctionCall,
+    NumberLiteral,
+    RangeReference,
+    StringLiteral,
+    BooleanLiteral,
+    UnaryOp,
+    node_count,
+    parse_formula,
+    tokenize,
+)
+from repro.formula.tokenizer import TokenType
+
+
+class TestTokenizer:
+    def test_simple_function(self):
+        tokens = tokenize("=SUM(A1:A5)")
+        types = [token.type for token in tokens]
+        assert types == [
+            TokenType.IDENT,
+            TokenType.LPAREN,
+            TokenType.RANGE,
+            TokenType.RPAREN,
+            TokenType.EOF,
+        ]
+
+    def test_leading_equals_optional(self):
+        assert len(tokenize("SUM(A1)")) == len(tokenize("=SUM(A1)"))
+
+    def test_numbers_and_operators(self):
+        tokens = tokenize("=1.5e2+A1*3")
+        texts = [token.text for token in tokens if token.type is not TokenType.EOF]
+        assert texts == ["1.5e2", "+", "A1", "*", "3"]
+
+    def test_string_with_escaped_quotes(self):
+        tokens = tokenize('="he said ""hi"""')
+        assert tokens[0].type is TokenType.STRING
+
+    def test_comparison_operators(self):
+        tokens = tokenize("=A1>=10")
+        assert tokens[1].type is TokenType.COMPARE
+        assert tokens[1].text == ">="
+
+    def test_booleans(self):
+        tokens = tokenize("=TRUE")
+        assert tokens[0].type is TokenType.BOOLEAN
+
+    def test_semicolon_separator(self):
+        tokens = tokenize("=SUM(A1;A2)")
+        assert any(token.type is TokenType.COMMA for token in tokens)
+
+    def test_whitespace_ignored(self):
+        assert len(tokenize("= SUM( A1 , B2 )")) == len(tokenize("=SUM(A1,B2)"))
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("=A1 @ B2")
+
+
+class TestParser:
+    def test_countif_structure(self):
+        ast = parse_formula("=COUNTIF(C7:C37,C41)")
+        assert isinstance(ast, FunctionCall)
+        assert ast.name == "COUNTIF"
+        assert isinstance(ast.args[0], RangeReference)
+        assert isinstance(ast.args[1], CellReference)
+
+    def test_function_name_uppercased(self):
+        ast = parse_formula("=sum(A1)")
+        assert isinstance(ast, FunctionCall)
+        assert ast.name == "SUM"
+
+    def test_nested_functions(self):
+        ast = parse_formula("=ROUND(SUM(A1:A5)/COUNT(A1:A5),2)")
+        assert isinstance(ast, FunctionCall)
+        assert ast.name == "ROUND"
+        inner = ast.args[0]
+        assert isinstance(inner, BinaryOp)
+        assert inner.op == "/"
+
+    def test_operator_precedence(self):
+        ast = parse_formula("=1+2*3")
+        assert isinstance(ast, BinaryOp)
+        assert ast.op == "+"
+        assert isinstance(ast.right, BinaryOp)
+        assert ast.right.op == "*"
+
+    def test_comparison_lowest_precedence(self):
+        ast = parse_formula("=A1+1>B1*2")
+        assert isinstance(ast, BinaryOp)
+        assert ast.op == ">"
+
+    def test_concatenation(self):
+        ast = parse_formula('=A1&" units"')
+        assert isinstance(ast, BinaryOp)
+        assert ast.op == "&"
+        assert isinstance(ast.right, StringLiteral)
+
+    def test_unary_minus_and_percent(self):
+        ast = parse_formula("=-A1%")
+        assert isinstance(ast, UnaryOp)
+        assert ast.op == "-"
+        assert isinstance(ast.operand, UnaryOp)
+        assert ast.operand.op == "%"
+
+    def test_parentheses_grouping(self):
+        ast = parse_formula("=(1+2)*3")
+        assert isinstance(ast, BinaryOp)
+        assert ast.op == "*"
+
+    def test_boolean_literal(self):
+        ast = parse_formula("=IF(TRUE,1,0)")
+        assert isinstance(ast.args[0], BooleanLiteral)
+
+    def test_empty_argument_list(self):
+        ast = parse_formula("=TODAY()")
+        assert isinstance(ast, FunctionCall)
+        assert ast.args == ()
+
+    def test_dollar_anchors_stripped(self):
+        ast = parse_formula("=SUM($A$1:$B$2)")
+        assert ast.to_formula() == "SUM(A1:B2)"
+
+    def test_node_count(self):
+        assert node_count(parse_formula("=COUNTIF(C7:C37,C41)")) == 3
+        assert node_count(parse_formula("=A1")) == 1
+        assert node_count(parse_formula("=A1+B1")) == 3
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            parse_formula("=SUM(A1) B2")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            parse_formula("=SUM(A1")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            parse_formula("=A1+")
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            "COUNTIF(C7:C37,C41)",
+            "SUM(A1:A10)",
+            "IF(B2>100,\"high\",\"low\")",
+            "ROUND(C3/D3,2)",
+            "A1+B1*C1",
+            "CONCATENATE(A1,\" \",B1)",
+            "-A5",
+            "VLOOKUP(A2,B1:D20,3,FALSE)",
+        ],
+    )
+    def test_roundtrip_canonical_formulas(self, formula):
+        assert parse_formula("=" + formula).to_formula() == formula
+
+    def test_number_rendering(self):
+        assert NumberLiteral(5.0).to_formula() == "5"
+        assert NumberLiteral(2.5).to_formula() == "2.5"
+
+    def test_string_escaping(self):
+        assert StringLiteral('say "hi"').to_formula() == '"say ""hi"""'

@@ -1,0 +1,131 @@
+"""Additional coverage: value pools, predictor interface, configs and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mondrian import extract_regions, sheet_similarity
+from repro.core.interface import Prediction
+from repro.corpus import value_pools as pools
+from repro.evaluation.pr_curve import PRPoint, area_under_pr
+from repro.features import FeatureConfig
+from repro.models import ModelConfig
+from repro.sheet import Sheet
+from repro.sheet.io import sheet_from_dict, sheet_to_dict
+
+
+class TestValuePools:
+    def test_pick_returns_member(self, rng):
+        for pool in (pools.COLORS, pools.REGIONS, pools.PRODUCTS, pools.MONTHS):
+            assert pools.pick(rng, pool) in pool
+
+    def test_pick_many_distinct(self, rng):
+        chosen = pools.pick_many(rng, pools.PRODUCTS, 5)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+
+    def test_pick_many_caps_at_pool_size(self, rng):
+        chosen = pools.pick_many(rng, pools.QUARTERS, 10)
+        assert sorted(chosen) == sorted(pools.QUARTERS)
+
+    def test_full_name_format(self, rng):
+        name = pools.full_name(rng)
+        first, last = name.split(" ", 1)
+        assert first in pools.FIRST_NAMES
+        assert last in pools.LAST_NAMES
+
+    def test_money_bounds_and_rounding(self, rng):
+        for __ in range(20):
+            value = pools.money(rng, 10, 20)
+            assert 10 <= value <= 20
+            assert round(value, 2) == value
+
+    def test_iso_date_format(self, rng):
+        date = pools.iso_date(rng, year=2022)
+        year, month, day = date.split("-")
+        assert year == "2022"
+        assert 1 <= int(month) <= 12
+        assert 1 <= int(day) <= 28
+
+
+class TestPredictionInterface:
+    def test_defaults(self):
+        prediction = Prediction(formula="=SUM(A1:A2)")
+        assert prediction.confidence == 1.0
+        assert prediction.details == {}
+
+    def test_details_are_not_shared_between_instances(self):
+        first = Prediction(formula="=A1")
+        second = Prediction(formula="=A2")
+        first.details["key"] = "value"
+        assert second.details == {}
+
+
+class TestConfigs:
+    def test_feature_config_paper_constants(self):
+        assert FeatureConfig.PAPER_WINDOW_ROWS == 100
+        assert FeatureConfig.PAPER_WINDOW_COLS == 10
+        config = FeatureConfig(window_rows=10, window_cols=4)
+        assert config.window_cells == 40
+
+    def test_model_config_paper_constants(self):
+        assert ModelConfig.PAPER_COARSE_EMBEDDING_DIM == 896
+        assert ModelConfig.PAPER_FINE_PER_CELL_DIM == 16
+
+    def test_fine_embedding_dim_formula(self):
+        config = ModelConfig(features=FeatureConfig(window_rows=10, window_cols=4), fine_per_cell_dim=6)
+        assert config.fine_embedding_dim == 10 * 4 * 6
+
+    def test_paper_scale_fine_dimension_matches_paper(self):
+        """At paper-scale settings the fine embedding is 16,000-d as reported."""
+        config = ModelConfig(
+            features=FeatureConfig(
+                window_rows=FeatureConfig.PAPER_WINDOW_ROWS,
+                window_cols=FeatureConfig.PAPER_WINDOW_COLS,
+            ),
+            fine_per_cell_dim=ModelConfig.PAPER_FINE_PER_CELL_DIM,
+        )
+        assert config.fine_embedding_dim == 16_000
+
+
+class TestSheetIOEdgeCases:
+    def test_sheet_dict_roundtrip_preserves_name(self):
+        sheet = Sheet("My Report")
+        sheet.set("B3", 1.5)
+        restored = sheet_from_dict(sheet_to_dict(sheet))
+        assert restored.name == "My Report"
+        assert restored.get("B3").value == 1.5
+
+    def test_sheet_from_minimal_dict(self):
+        restored = sheet_from_dict({})
+        assert restored.name == "Sheet1"
+        assert restored.n_cells == 0
+
+
+class TestMondrianRegionEdgeCases:
+    def test_empty_sheet_has_no_regions(self):
+        assert extract_regions(Sheet()) == []
+
+    def test_similarity_with_empty_side_is_zero(self):
+        sheet = Sheet()
+        sheet.set("A1", 1)
+        regions = extract_regions(sheet)
+        assert sheet_similarity(regions, []) == 0.0
+        assert sheet_similarity([], regions) == 0.0
+
+    def test_region_covers_contiguous_numeric_block(self):
+        sheet = Sheet()
+        for row in range(4):
+            for col in range(3):
+                sheet.set((row, col), row * col + 1.0)
+        regions = extract_regions(sheet)
+        numeric_regions = [region for region in regions if region.cell_type == "numeric"]
+        assert sum(region.n_cells for region in numeric_regions) == 12
+
+
+class TestPRCurveGeometry:
+    def test_area_under_single_point_is_zero(self):
+        assert area_under_pr([PRPoint(0.0, 1.0, 0.5)]) == 0.0
+
+    def test_area_of_rectangle(self):
+        points = [PRPoint(0.0, 0.8, 0.0), PRPoint(0.5, 0.8, 1.0)]
+        assert area_under_pr(points) == pytest.approx(0.8)

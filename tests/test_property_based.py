@@ -1,0 +1,268 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ann import ExactIndex, IVFIndex, LSHIndex
+from repro.embedding import HashedSemanticEmbedder
+from repro.formula import extract_template, formula_references, instantiate_template, parse_formula
+from repro.formula.template import normalize_formula, shift_formula
+from repro.nn import L2Normalize
+from repro.nn.losses import pairwise_squared_distances, triplet_loss_and_grad
+from repro.sheet import CellAddress, RangeAddress, Sheet
+from repro.sheet.addressing import column_index_to_letters, column_letters_to_index
+from repro.weaksup import SheetNameStatistics
+
+# ----------------------------------------------------------------- strategies
+
+cell_addresses = st.builds(
+    CellAddress, row=st.integers(0, 500), col=st.integers(0, 60)
+)
+
+cell_ranges = st.builds(
+    lambda a, b: RangeAddress(a, b), cell_addresses, cell_addresses
+)
+
+
+@st.composite
+def aggregation_formulas(draw):
+    """Random single-aggregation formulas over a random range."""
+    function = draw(st.sampled_from(["SUM", "AVERAGE", "COUNT", "MAX", "MIN", "COUNTA"]))
+    cell_range = draw(cell_ranges)
+    return f"={function}({cell_range.to_a1()})"
+
+
+@st.composite
+def countif_formulas(draw):
+    cell_range = draw(cell_ranges)
+    criterion = draw(cell_addresses)
+    return f"=COUNTIF({cell_range.to_a1()},{criterion.to_a1()})"
+
+
+formula_strategies = st.one_of(aggregation_formulas(), countif_formulas())
+
+
+# ------------------------------------------------------------------ addressing
+
+
+class TestAddressingProperties:
+    @given(st.integers(0, 20_000))
+    def test_column_roundtrip(self, index):
+        assert column_letters_to_index(column_index_to_letters(index)) == index
+
+    @given(cell_addresses)
+    def test_a1_roundtrip(self, address):
+        assert CellAddress.from_a1(address.to_a1()) == address
+
+    @given(cell_addresses, st.integers(0, 50), st.integers(0, 20))
+    def test_shift_is_reversible(self, address, row_delta, col_delta):
+        shifted = address.shifted(row_delta, col_delta)
+        assert shifted.shifted(-row_delta, -col_delta) == address
+
+    @given(cell_ranges)
+    def test_range_contains_its_corners_and_all_cells(self, cell_range):
+        assert cell_range.contains(cell_range.start)
+        assert cell_range.contains(cell_range.end)
+        assert sum(1 for __ in cell_range.cells()) == cell_range.size
+
+    @given(cell_ranges)
+    def test_range_roundtrip(self, cell_range):
+        assert RangeAddress.from_a1(cell_range.to_a1()) == cell_range
+
+
+# --------------------------------------------------------------------- formula
+
+
+class TestFormulaProperties:
+    @given(formula_strategies)
+    def test_parse_render_roundtrip_is_stable(self, formula):
+        rendered = normalize_formula(formula)
+        assert normalize_formula(rendered) == rendered
+
+    @given(formula_strategies)
+    def test_template_instantiation_with_own_references_is_identity(self, formula):
+        references = formula_references(formula)
+        assert instantiate_template(formula, references) == normalize_formula(formula)
+
+    @given(formula_strategies, st.integers(0, 30), st.integers(0, 10))
+    def test_shift_preserves_template(self, formula, row_delta, col_delta):
+        shifted = shift_formula(formula, row_delta, col_delta)
+        assert extract_template(shifted) == extract_template(formula)
+
+    @given(formula_strategies, st.integers(0, 30), st.integers(0, 10))
+    def test_shift_is_reversible(self, formula, row_delta, col_delta):
+        shifted = shift_formula(formula, row_delta, col_delta)
+        assert shift_formula(shifted, -row_delta, -col_delta) == normalize_formula(formula)
+
+    @given(formula_strategies)
+    def test_reference_count_matches_template_holes(self, formula):
+        template = extract_template(formula)
+        assert template.n_parameters == len(formula_references(formula))
+
+
+# -------------------------------------------------------------------- sheet ops
+
+
+class TestSheetProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 8), st.integers(-1000, 1000)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(0, 30),
+    )
+    def test_insert_then_delete_rows_is_identity(self, cells, at_row):
+        sheet = Sheet()
+        for row, col, value in cells:
+            sheet.set((row, col), value)
+        original = {addr: cell.value for addr, cell in sheet.cells()}
+        sheet.insert_rows(at_row, 2)
+        sheet.delete_rows(at_row, 2)
+        assert {addr: cell.value for addr, cell in sheet.cells()} == original
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 8), st.text(max_size=5)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_copy_preserves_all_cells(self, cells):
+        sheet = Sheet()
+        for row, col, value in cells:
+            sheet.set((row, col), value)
+        clone = sheet.copy()
+        assert {a: c.value for a, c in clone.cells()} == {a: c.value for a, c in sheet.cells()}
+
+
+# ----------------------------------------------------------------- embeddings
+
+
+class TestEmbeddingProperties:
+    @given(st.text(max_size=40))
+    @settings(max_examples=50)
+    def test_embedding_norm_at_most_one(self, text):
+        vector = HashedSemanticEmbedder(64).embed(text)
+        assert np.linalg.norm(vector) <= 1.0 + 1e-5
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=50)
+    def test_embedding_deterministic(self, text):
+        embedder = HashedSemanticEmbedder(64)
+        assert np.allclose(embedder.embed(text), embedder.embed(text))
+
+
+# ------------------------------------------------------------------------- nn
+
+
+class TestNNProperties:
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30)
+    def test_pairwise_distances_non_negative_and_symmetric(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        left = rng.standard_normal((n, 4))
+        right = rng.standard_normal((m, 4))
+        distances = pairwise_squared_distances(left, right)
+        assert np.all(distances >= 0.0)
+        assert np.allclose(pairwise_squared_distances(right, left), distances.T, atol=1e-6)
+
+    @given(st.integers(1, 10), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30)
+    def test_l2_normalize_output_unit_norm(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, 8)).astype(np.float32) * 10
+        out = L2Normalize().forward(x)
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-4)
+
+    @given(st.integers(1, 8), st.floats(0.05, 2.0), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30)
+    def test_triplet_loss_non_negative_and_bounded_grad(self, n, margin, seed):
+        rng = np.random.default_rng(seed)
+        anchor = rng.standard_normal((n, 6)).astype(np.float32)
+        positive = rng.standard_normal((n, 6)).astype(np.float32)
+        negative = rng.standard_normal((n, 6)).astype(np.float32)
+        loss, da, dp, dn = triplet_loss_and_grad(anchor, positive, negative, margin=margin)
+        assert loss >= 0.0
+        for grad in (da, dp, dn):
+            assert np.all(np.isfinite(grad))
+
+    @given(st.floats(0.05, 2.0))
+    @settings(max_examples=20)
+    def test_triplet_loss_zero_for_identical_positive_and_separated_negative(self, margin):
+        anchor = np.zeros((3, 4), dtype=np.float32)
+        positive = np.zeros((3, 4), dtype=np.float32)
+        negative = np.full((3, 4), 10.0, dtype=np.float32)
+        loss, *_ = triplet_loss_and_grad(anchor, positive, negative, margin=margin)
+        assert loss == 0.0
+
+
+# ------------------------------------------------------------------------- ann
+
+
+class TestANNProperties:
+    @given(st.integers(5, 60), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_index_top1_matches_brute_force(self, n, seed):
+        rng = np.random.default_rng(seed)
+        vectors = rng.standard_normal((n, 8)).astype(np.float32)
+        index = ExactIndex(8)
+        index.add_batch(list(range(n)), vectors)
+        query = rng.standard_normal(8).astype(np.float32)
+        hit = index.search(query, k=1)[0]
+        brute = int(np.argmin(np.sum((vectors - query) ** 2, axis=1)))
+        assert hit.key == brute
+
+    @given(st.integers(10, 80), st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_approximate_indexes_return_valid_keys(self, n, seed):
+        rng = np.random.default_rng(seed)
+        vectors = rng.standard_normal((n, 16)).astype(np.float32)
+        for index in (LSHIndex(16, seed=1), IVFIndex(16, n_clusters=4, seed=1)):
+            index.add_batch(list(range(n)), vectors)
+            hits = index.search(vectors[0], k=3)
+            assert hits
+            assert all(0 <= hit.key < n for hit in hits)
+            assert all(hit.distance >= 0.0 for hit in hits)
+
+
+# ---------------------------------------------------------------- weak superv.
+
+
+class TestWeakSupervisionProperties:
+    @given(st.lists(st.sampled_from(["Sheet1", "Data", "Budget", "Report"]), min_size=1, max_size=30))
+    def test_name_probabilities_sum_over_observed_names(self, names):
+        from repro.sheet import Workbook
+
+        workbooks = []
+        for index, name in enumerate(names):
+            workbook = Workbook(f"wb{index}")
+            workbook.add_sheet(name)
+            workbooks.append(workbook)
+        stats = SheetNameStatistics.from_workbooks(workbooks)
+        total = sum(stats.probability(name) for name in set(names))
+        assert total == np.float64(1.0) or abs(total - 1.0) < 1e-9
+
+    @given(
+        st.lists(st.sampled_from(["Alpha", "Beta", "Gamma"]), min_size=1, max_size=6),
+        st.integers(2, 40),
+    )
+    def test_sequence_probability_decreases_with_length(self, names, n_noise):
+        from repro.sheet import Workbook
+
+        workbooks = []
+        for index in range(n_noise):
+            workbook = Workbook(f"noise{index}")
+            workbook.add_sheet(f"Unique {index}")
+            workbooks.append(workbook)
+        family = Workbook("family")
+        for name in names:
+            if name not in family:
+                family.add_sheet(name)
+        workbooks.append(family)
+        stats = SheetNameStatistics.from_workbooks(workbooks)
+        probability = 1.0
+        for prefix_length in range(1, len(family.sheet_names) + 1):
+            new_probability = stats.sequence_probability(family.sheet_names[:prefix_length])
+            assert new_probability <= probability + 1e-12
+            probability = new_probability

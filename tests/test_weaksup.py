@@ -1,0 +1,197 @@
+"""Tests for weak supervision: name statistics, hypothesis test, pairs, augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.sheet import Sheet, Workbook
+from repro.weaksup import (
+    AugmentationConfig,
+    HypothesisTest,
+    SheetNameStatistics,
+    augment_region_sheet,
+    augment_sheet,
+    generate_training_pairs,
+)
+
+
+def _workbook(name: str, sheet_names, formulas=None) -> Workbook:
+    workbook = Workbook(name)
+    for sheet_name in sheet_names:
+        sheet = workbook.add_sheet(sheet_name)
+        sheet.set("A1", "data")
+        for address, formula in (formulas or {}).get(sheet_name, {}).items():
+            sheet.set(address, formula=formula)
+    return workbook
+
+
+@pytest.fixture()
+def universe():
+    """A universe with two related file pairs and noise workbooks."""
+    workbooks = []
+    # family with rare sheet names: similar pair
+    formulas = {"WorkshopDetails": {"B5": "=SUM(A1:A4)", "C9": "=COUNTA(A1:A8)"}}
+    workbooks.append(_workbook("wb_a1.xlsx", ["Instructions", "WorkshopDetails"], formulas))
+    workbooks.append(_workbook("wb_a2.xlsx", ["Instructions", "WorkshopDetails"], formulas))
+    # many unrelated workbooks with the common default name
+    for index in range(30):
+        workbooks.append(_workbook(f"common_{index}.xlsx", ["Sheet1"]))
+    # workbooks with unique names (negative pool)
+    workbooks.append(_workbook("other_1.xlsx", ["Budget FY22"]))
+    workbooks.append(_workbook("other_2.xlsx", ["Inventory List"]))
+    return workbooks
+
+
+class TestSheetNameStatistics:
+    def test_counts(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        assert stats.total_sheets == sum(len(workbook) for workbook in universe)
+        assert stats.frequency("Sheet1") == 30
+        assert stats.frequency("Instructions") == 2
+
+    def test_probability_normalization(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        assert stats.probability("Sheet1") == pytest.approx(30 / stats.total_sheets)
+
+    def test_case_insensitive(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        assert stats.frequency("sheet1") == stats.frequency("Sheet1")
+
+    def test_unseen_name_small_probability(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        assert 0.0 < stats.probability("never seen before") < 0.05
+
+    def test_empty_statistics(self):
+        assert SheetNameStatistics().probability("anything") == 1.0
+
+    def test_sequence_probability_product(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        sequence = ["Instructions", "WorkshopDetails"]
+        expected = stats.probability("Instructions") * stats.probability("WorkshopDetails")
+        assert stats.sequence_probability(sequence) == pytest.approx(expected)
+
+    def test_most_common(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        assert stats.most_common(1)[0][0] == "sheet1"
+
+
+class TestHypothesisTest:
+    def test_rare_matching_names_accepted(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        test = HypothesisTest(stats)
+        result = test.test(universe[0], universe[1])
+        assert result.names_match
+        assert result.similar
+        assert result.p_value < 0.05
+
+    def test_common_name_rejected(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        test = HypothesisTest(stats)
+        result = test.test(universe[2], universe[3])  # two "Sheet1" workbooks
+        assert result.names_match
+        assert not result.similar
+
+    def test_different_names_not_similar(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        test = HypothesisTest(stats)
+        result = test.test(universe[0], universe[-1])
+        assert not result.names_match
+        assert not result.similar
+
+    def test_shares_any_name(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        test = HypothesisTest(stats)
+        assert test.shares_any_name(universe[0], universe[1])
+        assert not test.shares_any_name(universe[0], universe[-1])
+
+    def test_invalid_alpha(self, universe):
+        stats = SheetNameStatistics.from_workbooks(universe)
+        with pytest.raises(ValueError):
+            HypothesisTest(stats, alpha=0.0)
+
+
+class TestPairGeneration:
+    def test_pair_counts(self, universe):
+        pairs = generate_training_pairs(universe, seed=1)
+        assert len(pairs.positive_sheet_pairs) == 2  # both sheets of the matched file pair
+        assert len(pairs.positive_region_pairs) == 2  # the two identical formulas
+        assert len(pairs.negative_region_pairs) >= 1
+        assert len(pairs.negative_sheet_pairs) > 0
+
+    def test_positive_region_pairs_identical_location_and_formula(self, universe):
+        pairs = generate_training_pairs(universe, seed=1)
+        for pair in pairs.positive_region_pairs:
+            assert pair.left_center == pair.right_center
+            left = pair.left_sheet.get(pair.left_center).formula
+            right = pair.right_sheet.get(pair.right_center).formula
+            assert left == right
+
+    def test_negative_region_pairs_have_different_formula(self, universe):
+        pairs = generate_training_pairs(universe, seed=1)
+        for pair in pairs.negative_region_pairs:
+            left = pair.left_sheet.get(pair.left_center).formula
+            right = pair.right_sheet.get(pair.right_center).formula
+            assert left != right
+
+    def test_negative_sheet_pairs_share_no_name(self, universe):
+        pairs = generate_training_pairs(universe, seed=1)
+        for pair in pairs.negative_sheet_pairs:
+            assert pair.left.name.lower() != pair.right.name.lower()
+
+    def test_summary_keys(self, universe):
+        summary = generate_training_pairs(universe, seed=1).summary()
+        assert set(summary) == {
+            "positive_sheet_pairs",
+            "negative_sheet_pairs",
+            "positive_region_pairs",
+            "negative_region_pairs",
+        }
+
+    def test_real_universe_produces_pairs(self, training_pairs):
+        assert len(training_pairs.positive_sheet_pairs) > 5
+        assert len(training_pairs.positive_region_pairs) > 5
+        assert len(training_pairs.negative_sheet_pairs) > 5
+
+
+class TestAugmentation:
+    def _sheet(self, rows=20, cols=4) -> Sheet:
+        sheet = Sheet()
+        for row in range(rows):
+            for col in range(cols):
+                sheet.set((row, col), row * 100 + col)
+        return sheet
+
+    def test_sheet_augmentation_removes_rows_or_keeps(self, rng):
+        sheet = self._sheet()
+        augmented = augment_sheet(sheet, rng, max_fraction=0.3)
+        assert augmented.n_rows <= sheet.n_rows
+        assert augmented.n_cols <= sheet.n_cols
+        assert augmented is not sheet
+
+    def test_sheet_augmentation_preserves_original(self, rng):
+        sheet = self._sheet()
+        original_cells = sheet.n_cells
+        augment_sheet(sheet, rng, max_fraction=0.5)
+        assert sheet.n_cells == original_cells
+
+    def test_region_augmentation_only_trims_bottom_and_right(self, rng):
+        sheet = self._sheet(rows=30, cols=6)
+        augmented = augment_region_sheet(sheet, rng, max_fraction=0.4, protect_rows=10, protect_cols=3)
+        # protected prefix is untouched
+        for row in range(10):
+            for col in range(3):
+                assert augmented.get((row, col)).value == sheet.get((row, col)).value
+        assert augmented.n_rows >= 10
+        assert augmented.n_cols >= 3
+
+    def test_tiny_sheet_not_augmented(self, rng):
+        sheet = Sheet()
+        sheet.set("A1", 1)
+        sheet.set("A2", 2)
+        augmented = augment_sheet(sheet, rng, max_fraction=0.9)
+        assert augmented.n_rows == sheet.n_rows
+
+    def test_augmentation_config_defaults(self):
+        config = AugmentationConfig()
+        assert config.enabled
+        assert 0.0 < config.max_removal_fraction < 1.0
+        assert 0.0 < config.region_fraction <= 1.0

@@ -1,0 +1,84 @@
+"""Tests for workbooks and JSON (de)serialization."""
+
+import pytest
+
+from repro.sheet import Sheet, Workbook
+from repro.sheet.io import (
+    load_workbook_json,
+    save_workbook_json,
+    workbook_from_dict,
+    workbook_to_dict,
+)
+from repro.sheet.style import CellStyle
+
+
+class TestWorkbook:
+    def test_add_and_get(self):
+        workbook = Workbook("demo.xlsx")
+        sheet = workbook.add_sheet("Data")
+        assert workbook.get_sheet("Data") is sheet
+        assert workbook["Data"] is sheet
+        assert "Data" in workbook
+
+    def test_add_by_name(self):
+        workbook = Workbook()
+        sheet = workbook.add_sheet("Summary")
+        assert isinstance(sheet, Sheet)
+        assert sheet.name == "Summary"
+
+    def test_duplicate_name_rejected(self):
+        workbook = Workbook()
+        workbook.add_sheet("S")
+        with pytest.raises(ValueError):
+            workbook.add_sheet("S")
+
+    def test_sheet_order_preserved(self):
+        workbook = Workbook()
+        for name in ["Instructions", "WorkshopDetails", "Data"]:
+            workbook.add_sheet(name)
+        assert workbook.sheet_names == ["Instructions", "WorkshopDetails", "Data"]
+
+    def test_len_and_iter(self, simple_workbook):
+        assert len(simple_workbook) == 2
+        assert [sheet.name for sheet in simple_workbook] == ["Data", "Notes"]
+
+    def test_remove_sheet(self):
+        workbook = Workbook()
+        workbook.add_sheet("A")
+        workbook.remove_sheet("A")
+        assert "A" not in workbook
+
+    def test_counts(self, simple_workbook):
+        assert simple_workbook.n_formulas() == 1
+        assert simple_workbook.n_cells() > 10
+
+
+class TestWorkbookSerialization:
+    def test_dict_roundtrip(self, simple_workbook):
+        restored = workbook_from_dict(workbook_to_dict(simple_workbook))
+        assert restored.name == simple_workbook.name
+        assert restored.last_modified == simple_workbook.last_modified
+        assert restored.sheet_names == simple_workbook.sheet_names
+        assert restored["Data"].get("B7").formula == "=SUM(B2:B6)"
+        assert restored["Data"].get("B2").value == 1.0
+
+    def test_styles_survive_roundtrip(self):
+        workbook = Workbook("styled.xlsx")
+        sheet = workbook.add_sheet("S")
+        sheet.set("A1", "Header", style=CellStyle(bold=True, background_color="#4472C4"))
+        restored = workbook_from_dict(workbook_to_dict(workbook))
+        assert restored["S"].get("A1").style.bold
+        assert restored["S"].get("A1").style.background_color == "#4472C4"
+
+    def test_file_roundtrip(self, simple_workbook, tmp_path):
+        path = tmp_path / "nested" / "wb.json"
+        save_workbook_json(simple_workbook, path)
+        assert path.exists()
+        restored = load_workbook_json(path)
+        assert restored.sheet_names == simple_workbook.sheet_names
+        assert restored["Data"].n_cells == simple_workbook["Data"].n_cells
+
+    def test_empty_workbook_roundtrip(self):
+        workbook = Workbook("empty.xlsx")
+        restored = workbook_from_dict(workbook_to_dict(workbook))
+        assert len(restored) == 0
