@@ -2,8 +2,9 @@
 
 A from-scratch Python reproduction of *"Auto-Formula: Recommend Formulas in
 Spreadsheets using Contrastive Learning for Table Representations"*
-(SIGMOD 2024).  See ``DESIGN.md`` for the system inventory and
-``EXPERIMENTS.md`` for the reproduced tables and figures.
+(SIGMOD 2024).  See ``DESIGN.md`` (repository root) for the system
+inventory and the two-stage retrieval engine, and ``EXPERIMENTS.md`` for
+the reproduced tables and figures and how to run them.
 
 Typical usage::
 

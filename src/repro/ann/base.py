@@ -23,6 +23,12 @@ class VectorIndex(abc.ABC):
     Distances are squared Euclidean; since all embeddings produced by the
     representation models are L2-normalized, the ranking is equivalent to a
     cosine-similarity ranking.
+
+    Vectors live in one contiguous ``float32`` matrix that grows
+    geometrically, so both single and batched queries score candidates with
+    vectorized slices of that matrix — no per-query re-stacking of Python
+    lists.  Ties in distance break deterministically toward the candidate at
+    the lowest scored position.
     """
 
     def __init__(self, dimension: int) -> None:
@@ -30,7 +36,9 @@ class VectorIndex(abc.ABC):
             raise ValueError("dimension must be positive")
         self._dimension = dimension
         self._keys: List[Hashable] = []
-        self._vectors: List[np.ndarray] = []
+        self._matrix = np.empty((0, dimension), dtype=np.float32)
+        self._sq_norms = np.empty((0,), dtype=np.float32)
+        self._size = 0
 
     # -------------------------------------------------------------- interface
 
@@ -40,7 +48,18 @@ class VectorIndex(abc.ABC):
         return self._dimension
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return self._size
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Read-only view of the stored vectors in insertion order.
+
+        The view is a snapshot: it stops tracking the store once the backing
+        matrix is reallocated by a later ``add``.
+        """
+        view = self._matrix[: self._size]
+        view.flags.writeable = False
+        return view
 
     def add(self, key: Hashable, vector: np.ndarray) -> None:
         """Add one vector under ``key``."""
@@ -49,41 +68,140 @@ class VectorIndex(abc.ABC):
             raise ValueError(
                 f"vector has dimension {vector.shape[0]}, index expects {self._dimension}"
             )
-        self._keys.append(key)
-        self._vectors.append(vector)
-        self._on_add(len(self._keys) - 1, vector)
+        self.add_batch([key], vector[None, :])
 
     def add_batch(self, keys: Sequence[Hashable], vectors: np.ndarray) -> None:
-        """Add many vectors at once."""
-        for key, vector in zip(keys, vectors):
-            self.add(key, vector)
+        """Add many vectors at once (one append plus one subclass hook)."""
+        keys = list(keys)
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            # A flat array is a single vector (for a single key), never a
+            # concatenation to be split across keys.
+            vectors = vectors[None, :] if keys else vectors.reshape(0, self._dimension)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dimension:
+            raise ValueError(
+                f"vectors have dimension {vectors.shape[-1] if vectors.ndim else 0}, "
+                f"index expects {self._dimension}"
+            )
+        if vectors.shape[0] != len(keys):
+            raise ValueError(f"{len(keys)} keys for {vectors.shape[0]} vectors")
+        if not keys:
+            return
+        count = len(keys)
+        self._ensure_capacity(count)
+        start = self._size
+        self._matrix[start : start + count] = vectors
+        block = self._matrix[start : start + count]
+        self._sq_norms[start : start + count] = np.einsum("ij,ij->i", block, block)
+        self._keys.extend(keys)
+        self._size += count
+        self._on_add_batch(start, block)
 
     def search(self, query: np.ndarray, k: int = 1) -> List[SearchResult]:
         """Return (up to) the ``k`` nearest stored vectors to ``query``."""
-        if len(self._keys) == 0 or k <= 0:
-            return []
         query = np.asarray(query, dtype=np.float32).reshape(-1)
         if query.shape[0] != self._dimension:
             raise ValueError(
                 f"query has dimension {query.shape[0]}, index expects {self._dimension}"
             )
-        candidate_positions = self._candidates(query, k)
-        if candidate_positions is None:
-            candidate_positions = np.arange(len(self._keys))
-        if candidate_positions.size == 0:
-            return []
-        matrix = np.stack([self._vectors[int(i)] for i in candidate_positions])
-        distances = np.sum((matrix - query) ** 2, axis=1)
-        order = np.argsort(distances)[:k]
-        return [
-            SearchResult(self._keys[int(candidate_positions[int(i)])], float(distances[int(i)]))
-            for i in order
-        ]
+        return self.search_batch(query[None, :], k)[0]
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        positions: Optional[np.ndarray] = None,
+    ) -> List[List[SearchResult]]:
+        """Batched k-NN: one result list per query row.
+
+        ``positions`` restricts scoring to the given stored positions (the
+        caller's candidate pool, e.g. the formulas of the sheets retrieved in
+        an earlier stage); the whole batch is then scored against that pool
+        with a single matrix product.  Without ``positions`` each query goes
+        through the subclass's candidate selection (cluster probing, hash
+        buckets, ...), still scored by vectorized slices.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != self._dimension:
+            raise ValueError(
+                f"queries must have shape (n, {self._dimension}), got {queries.shape}"
+            )
+        n_queries = queries.shape[0]
+        if self._size == 0 or k <= 0:
+            return [[] for __ in range(n_queries)]
+        if positions is not None:
+            positions = np.asarray(positions, dtype=np.int64)
+            block = self._score_block(queries, positions, k)
+            return block
+        results: List[Optional[List[SearchResult]]] = [None] * n_queries
+        full_rows: List[int] = []
+        for row in range(n_queries):
+            candidates = self._candidates(queries[row], k)
+            if candidates is None or candidates.size == len(self._keys):
+                full_rows.append(row)
+            elif candidates.size == 0:
+                results[row] = []
+            else:
+                results[row] = self._score_block(queries[row : row + 1], candidates, k)[0]
+        if full_rows:
+            scored = self._score_block(queries[np.asarray(full_rows)], None, k)
+            for row, hits in zip(full_rows, scored):
+                results[row] = hits
+        return [hits if hits is not None else [] for hits in results]
+
+    # --------------------------------------------------------------- internal
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._matrix.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, capacity * 2, 8)
+        matrix = np.empty((new_capacity, self._dimension), dtype=np.float32)
+        matrix[: self._size] = self._matrix[: self._size]
+        self._matrix = matrix
+        sq_norms = np.empty((new_capacity,), dtype=np.float32)
+        sq_norms[: self._size] = self._sq_norms[: self._size]
+        self._sq_norms = sq_norms
+
+    def _score_block(
+        self, queries: np.ndarray, positions: Optional[np.ndarray], k: int
+    ) -> List[List[SearchResult]]:
+        """Score every query against the vectors at ``positions`` at once.
+
+        ``positions=None`` scores against the whole store through the
+        contiguous matrix view (no gather copy) — the full-scan hot path.
+        """
+        if positions is None:
+            matrix = self._matrix[: self._size]
+            sq_norms = self._sq_norms[: self._size]
+        else:
+            matrix = self._matrix[positions]
+            sq_norms = self._sq_norms[positions]
+        distances = (
+            sq_norms[None, :]
+            - 2.0 * (queries @ matrix.T)
+            + np.einsum("ij,ij->i", queries, queries)[:, None]
+        )
+        np.maximum(distances, 0.0, out=distances)
+        results: List[List[SearchResult]] = []
+        for row in distances:
+            order = np.argsort(row, kind="stable")[:k]
+            results.append(
+                [
+                    SearchResult(
+                        self._keys[int(i) if positions is None else int(positions[int(i)])],
+                        float(row[int(i)]),
+                    )
+                    for i in order
+                ]
+            )
+        return results
 
     # --------------------------------------------------------------- subclass
 
-    def _on_add(self, position: int, vector: np.ndarray) -> None:
-        """Hook for subclasses to update auxiliary structures."""
+    def _on_add_batch(self, start: int, vectors: np.ndarray) -> None:
+        """Hook for subclasses: ``vectors`` were stored at ``start``..."""
 
     @abc.abstractmethod
     def _candidates(self, query: np.ndarray, k: int) -> Optional[np.ndarray]:

@@ -32,9 +32,12 @@ def _kmeans(vectors: np.ndarray, n_clusters: int, n_iterations: int, seed: int) 
 class IVFIndex(VectorIndex):
     """IVF index: cluster vectors, probe the nearest ``n_probe`` clusters.
 
-    The inverted lists are (re)built lazily on the first query after
-    additions, once at least ``2 * n_clusters`` vectors are present;
-    smaller indexes fall back to exact search.
+    The quantizer is trained lazily on the first query once at least
+    ``2 * n_clusters`` vectors are present; smaller indexes fall back to
+    exact search.  After training, newly added vectors are assigned to their
+    nearest *existing* centroid incrementally — k-means is only re-run once
+    the index has grown by ``retrain_growth_factor`` since it was last
+    trained, not on the first query after every add.
     """
 
     def __init__(
@@ -44,47 +47,63 @@ class IVFIndex(VectorIndex):
         n_probe: int = 3,
         kmeans_iterations: int = 10,
         seed: int = 0,
+        retrain_growth_factor: float = 2.0,
     ) -> None:
         super().__init__(dimension)
         if n_clusters <= 0 or n_probe <= 0:
             raise ValueError("n_clusters and n_probe must be positive")
+        if retrain_growth_factor <= 1.0:
+            raise ValueError("retrain_growth_factor must be > 1")
         self._n_clusters = n_clusters
         self._n_probe = n_probe
         self._kmeans_iterations = kmeans_iterations
         self._seed = seed
+        self._retrain_growth_factor = retrain_growth_factor
         self._centroids: Optional[np.ndarray] = None
         self._lists: Dict[int, List[int]] = {}
         self._trained_size = 0
 
-    def _on_add(self, position: int, vector: np.ndarray) -> None:
-        # Mark the index stale; it is rebuilt lazily at query time.
-        self._centroids = None
-
-    def _train(self) -> None:
-        matrix = np.stack(self._vectors)
-        self._centroids = _kmeans(matrix, self._n_clusters, self._kmeans_iterations, self._seed)
+    def _assign(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-centroid assignment for a block of vectors."""
+        assert self._centroids is not None
         distances = (
-            np.sum(matrix**2, axis=1, keepdims=True)
-            - 2.0 * matrix @ self._centroids.T
+            np.sum(vectors**2, axis=1, keepdims=True)
+            - 2.0 * vectors @ self._centroids.T
             + np.sum(self._centroids**2, axis=1)
         )
-        assignment = np.argmin(distances, axis=1)
+        return np.argmin(distances, axis=1)
+
+    def _on_add_batch(self, start: int, vectors: np.ndarray) -> None:
+        if self._centroids is None:
+            return  # not trained yet; the first query trains on everything
+        for offset, cluster in enumerate(self._assign(vectors)):
+            self._lists.setdefault(int(cluster), []).append(start + offset)
+
+    def _train(self) -> None:
+        matrix = self.vectors
+        self._centroids = _kmeans(matrix, self._n_clusters, self._kmeans_iterations, self._seed)
+        assignment = self._assign(matrix)
         self._lists = {}
         for position, cluster in enumerate(assignment):
             self._lists.setdefault(int(cluster), []).append(position)
-        self._trained_size = len(self._vectors)
+        self._trained_size = len(self)
+
+    def _needs_training(self) -> bool:
+        if self._centroids is None:
+            return True
+        return len(self) >= self._retrain_growth_factor * max(self._trained_size, 1)
 
     def _candidates(self, query: np.ndarray, k: int) -> Optional[np.ndarray]:
-        if len(self._vectors) < 2 * self._n_clusters:
+        if len(self) < 2 * self._n_clusters:
             return None
-        if self._centroids is None or self._trained_size != len(self._vectors):
+        if self._needs_training():
             self._train()
         assert self._centroids is not None
         distances = np.sum((self._centroids - query) ** 2, axis=1)
-        probe_order = np.argsort(distances)[: self._n_probe]
+        probe_order = np.argsort(distances, kind="stable")[: self._n_probe]
         candidates: List[int] = []
         for cluster in probe_order:
             candidates.extend(self._lists.get(int(cluster), ()))
         if len(candidates) < k:
             return None
-        return np.asarray(candidates, dtype=np.int64)
+        return np.sort(np.asarray(candidates, dtype=np.int64))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -14,8 +14,10 @@ class LSHIndex(VectorIndex):
     """Locality-sensitive hashing via signed random projections.
 
     Each of ``n_tables`` tables hashes a vector to the sign pattern of
-    ``n_bits`` random hyperplane projections; queries gather the union of
-    their buckets across tables and score only those candidates.  Falls back
+    ``n_bits`` random hyperplane projections (packed into one integer);
+    queries gather the union of their buckets across tables and score only
+    those candidates.  Candidate positions are sorted before scoring so that
+    nearest-neighbour ties break deterministically across runs.  Falls back
     to exact search when the candidate set is smaller than ``k`` so recall
     never collapses on tiny corpora.
     """
@@ -30,28 +32,34 @@ class LSHIndex(VectorIndex):
         super().__init__(dimension)
         if n_tables <= 0 or n_bits <= 0:
             raise ValueError("n_tables and n_bits must be positive")
+        if n_bits > 62:
+            raise ValueError("n_bits must be at most 62 to pack into an int64 signature")
         rng = np.random.default_rng(seed)
         self._n_tables = n_tables
         self._n_bits = n_bits
         self._hyperplanes = [
             rng.standard_normal((dimension, n_bits)).astype(np.float32) for __ in range(n_tables)
         ]
-        self._tables: List[Dict[Tuple[int, ...], List[int]]] = [
-            defaultdict(list) for __ in range(n_tables)
-        ]
+        self._bit_weights = (np.int64(1) << np.arange(n_bits, dtype=np.int64))
+        self._tables: List[Dict[int, List[int]]] = [defaultdict(list) for __ in range(n_tables)]
 
-    def _signature(self, table: int, vector: np.ndarray) -> Tuple[int, ...]:
-        projection = vector @ self._hyperplanes[table]
-        return tuple((projection > 0).astype(np.int8).tolist())
+    def _signatures(self, table: int, vectors: np.ndarray) -> np.ndarray:
+        """Packed-bit signatures for a block of vectors, one table."""
+        projection = vectors @ self._hyperplanes[table]
+        return (projection > 0).astype(np.int64) @ self._bit_weights
 
-    def _on_add(self, position: int, vector: np.ndarray) -> None:
+    def _on_add_batch(self, start: int, vectors: np.ndarray) -> None:
         for table in range(self._n_tables):
-            self._tables[table][self._signature(table, vector)].append(position)
+            buckets = self._tables[table]
+            for offset, signature in enumerate(self._signatures(table, vectors).tolist()):
+                buckets[signature].append(start + offset)
 
     def _candidates(self, query: np.ndarray, k: int) -> Optional[np.ndarray]:
         candidates: set = set()
+        block = query[None, :]
         for table in range(self._n_tables):
-            candidates.update(self._tables[table].get(self._signature(table, query), ()))
+            signature = int(self._signatures(table, block)[0])
+            candidates.update(self._tables[table].get(signature, ()))
         if len(candidates) < k:
             return None  # fall back to exact scan
-        return np.fromiter(candidates, dtype=np.int64)
+        return np.sort(np.fromiter(candidates, dtype=np.int64, count=len(candidates)))

@@ -27,6 +27,15 @@ class AutoFormulaConfig:
     locality_penalty: float = 0.01
     #: ANN index used for sheet-level retrieval: "exact", "lsh" or "ivf".
     sheet_index_kind: str = "exact"
+    #: Index holding the reference formula-region embeddings searched in S2.
+    #: Exact by default: the S1 stage already narrows the pool to the
+    #: formulas of ``top_k_sheets`` sheets, so S2 is one vectorized scoring
+    #: pass over that pool.
+    formula_index_kind: str = "exact"
+    #: Number of target sheets whose fine-embedding caches are retained
+    #: between ``predict`` calls (least-recently-used sheets are evicted
+    #: first, deterministically).
+    max_cached_target_sheets: int = 8
     #: Which model drives which search: "both" (paper), "coarse_only" or
     #: "fine_only" (the Figure 14 ablation).
     granularity: str = "both"
@@ -38,3 +47,5 @@ class AutoFormulaConfig:
             raise ValueError(f"unknown granularity {self.granularity!r}")
         if not 0.0 < self.acceptance_threshold <= 4.0:
             raise ValueError("acceptance_threshold must be in (0, 4]")
+        if self.max_cached_target_sheets <= 0:
+            raise ValueError("max_cached_target_sheets must be positive")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.sheet.addressing import CellAddress
 from repro.sheet.sheet import Sheet
@@ -45,3 +45,16 @@ class FormulaPredictor(abc.ABC):
     @abc.abstractmethod
     def predict(self, target_sheet: Sheet, target_cell: CellAddress) -> Optional[Prediction]:
         """Recommend a formula for ``target_cell`` on ``target_sheet``."""
+
+    def predict_batch(
+        self, target_sheet: Sheet, target_cells: Sequence[CellAddress]
+    ) -> List[Optional[Prediction]]:
+        """Recommend formulas for many cells of one sheet, in order.
+
+        The default implementation simply loops :meth:`predict`; methods
+        with a vectorizable online phase (Auto-Formula) override it to share
+        per-sheet work — featurization, sheet-level retrieval — across the
+        whole batch.  Implementations must return exactly the predictions
+        sequential ``predict`` calls would.
+        """
+        return [self.predict(target_sheet, target_cell) for target_cell in target_cells]

@@ -10,29 +10,68 @@ import numpy as np
 from repro.ann import create_index
 from repro.core.config import AutoFormulaConfig
 from repro.core.interface import FormulaPredictor, Prediction
+from repro.features.window import SheetKeyedLRU, gather_windows
 from repro.formula.ast_nodes import CellReference, RangeReference
 from repro.formula.parser import parse_formula
 from repro.formula.template import formula_references, instantiate_template
 from repro.formula.tokenizer import FormulaSyntaxError
 from repro.models.encoder import SheetEncoder
+from repro.nn.layers import Dropout, Flatten, L2Normalize, Linear, ReLU, Tanh
 from repro.sheet.addressing import CellAddress, RangeAddress
 from repro.sheet.sheet import Sheet
 from repro.sheet.workbook import Workbook
 
+#: Layers that act independently on every cell of a window, so they commute
+#: with window extraction (see ``AutoFormula._fine_fast_path``).
+_PER_CELL_LAYERS = (Linear, ReLU, Tanh, Dropout)
+
+_UNSET = object()
+
+
+def _reference_parameter_cells(
+    references: Sequence[Union[CellAddress, RangeAddress]]
+) -> List[CellAddress]:
+    """Unique cells referenced as parameters, in first-occurrence order
+    (range parameters contribute their start and end cells)."""
+    cells: List[CellAddress] = []
+    seen: set = set()
+    for reference in references:
+        ends = (
+            (reference.start, reference.end)
+            if isinstance(reference, RangeAddress)
+            else (reference,)
+        )
+        for cell in ends:
+            key = (cell.row, cell.col)
+            if key not in seen:
+                seen.add(key)
+                cells.append(cell)
+    return cells
+
+
+def _dedupe_coords(coords: np.ndarray) -> np.ndarray:
+    """Drop duplicate (row, col) rows, keeping first-occurrence order."""
+    flat = coords[:, 0] * (int(coords[:, 1].max()) + 1) + coords[:, 1]
+    return coords[np.sort(np.unique(flat, return_index=True)[1])]
+
 
 @dataclass
 class _ReferenceFormula:
-    """A formula cell on an indexed reference sheet."""
+    """A formula cell on an indexed reference sheet.
+
+    The formula-region embedding itself lives in the second-stage vector
+    index, at the position recorded in the owning sheet's entry of
+    ``AutoFormula._formula_positions``.
+    """
 
     sheet_position: int
     address: CellAddress
     formula: str
-    embedding: np.ndarray
 
 
 @dataclass
 class _ReferenceSheet:
-    """One indexed reference sheet with its formula-region embeddings."""
+    """One indexed reference sheet and its formula cells."""
 
     workbook_name: str
     sheet: Sheet
@@ -40,7 +79,15 @@ class _ReferenceSheet:
 
 
 class AutoFormula(FormulaPredictor):
-    """Formula recommendation by similar-sheet / similar-region retrieval."""
+    """Formula recommendation by similar-sheet / similar-region retrieval.
+
+    The online phase is a vectorized two-stage retrieval engine: S1 finds
+    ``top_k_sheets`` similar sheets in the sheet-level index, S2 scores the
+    target region against *all* formula regions of those sheets with a
+    single matrix product over a second-stage index, and S3 re-grounds the
+    winning formula's parameters.  :meth:`predict_batch` runs S1 once and
+    featurizes/encodes every target region of a sheet in one forward pass.
+    """
 
     name = "Auto-Formula"
 
@@ -53,9 +100,22 @@ class AutoFormula(FormulaPredictor):
         self.config = config or AutoFormulaConfig()
         self._reference_sheets: List[_ReferenceSheet] = []
         self._sheet_index = None
-        #: Fine-embedding cache for target sheets, keyed by (sheet id, row, col).
-        self._target_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
-        self._target_cache_sheets: Dict[int, Sheet] = {}
+        self._formula_index = None
+        #: Per reference sheet: positions of its formulas in the formula index.
+        self._formula_positions: List[np.ndarray] = []
+        #: Bounded LRU of per-cell fine-embedding caches for target sheets.
+        self._target_cache = SheetKeyedLRU(self.config.max_cached_target_sheets)
+        #: Region embeddings of reference parameter cells, keyed by
+        #: (sheet id, row, col).  Reference sheets are pinned by
+        #: ``_reference_sheets`` for the lifetime of a fit, so the ids stay
+        #: valid; the cache is cleared (and re-bounded) on every ``fit``.
+        self._reference_region_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+        #: Bounded LRU of model-reduced per-sheet tensors (the fine model's
+        #: per-cell prefix applied to a sheet's padded feature tensor once,
+        #: instead of once per overlapping window).
+        self._reduced_cache = SheetKeyedLRU(self.config.max_cached_target_sheets)
+        self._reduced_padding: Optional[np.ndarray] = None
+        self._fine_fast = _UNSET
 
     # --------------------------------------------------------------- encoding
 
@@ -82,6 +142,10 @@ class AutoFormula(FormulaPredictor):
                 else self.encoder.fine_dimension
             )
             return np.zeros((0, dim), dtype=np.float32)
+        if self.config.granularity != "coarse_only":
+            vectors = self._fine_region_vectors_fast(sheet, list(centers), blank_center)
+            if vectors is not None:
+                return vectors
         windows = self.encoder.featurizer.featurize_regions(
             sheet, list(centers), blank_center=blank_center
         )
@@ -89,29 +153,149 @@ class AutoFormula(FormulaPredictor):
             return self.encoder.coarse_model.forward(windows)
         return self.encoder.fine_model.forward(windows)
 
+    # ----------------------------------------------------- fine-model fast path
+
+    def _fine_fast_path(self):
+        """``(per-cell prefix layers, normalizer)`` when the fine model is
+        per-cell all the way to its ``Flatten`` + ``L2Normalize`` tail.
+
+        Such a model commutes with window extraction: applying the prefix to
+        a sheet's padded feature tensor once and gathering windows in the
+        reduced space gives the same embeddings as reducing every
+        (heavily overlapping) window separately, at a fraction of the cost.
+        Returns ``None`` for architectures with spatial layers (conv /
+        pooling), which fall back to the general per-window path.
+        """
+        if self._fine_fast is _UNSET:
+            result = None
+            layers = getattr(self.encoder.fine_model, "layers", None)
+            if layers:
+                for index, layer in enumerate(layers):
+                    if isinstance(layer, Flatten):
+                        prefix, tail = layers[:index], layers[index + 1 :]
+                        if (
+                            all(isinstance(item, _PER_CELL_LAYERS) for item in prefix)
+                            and len(tail) == 1
+                            and isinstance(tail[0], L2Normalize)
+                        ):
+                            result = (prefix, tail[0])
+                        break
+                    if not isinstance(layer, _PER_CELL_LAYERS):
+                        break
+            self._fine_fast = result
+        return self._fine_fast
+
+    def _reduced_padding_features(self) -> np.ndarray:
+        if self._reduced_padding is None:
+            prefix, __ = self._fine_fast_path()
+            vector = self.encoder.featurizer.padding_features()[None, :]
+            for layer in prefix:
+                vector = layer.forward(vector, training=False)
+            self._reduced_padding = vector[0]
+        return self._reduced_padding
+
+    def _reduced_sheet_tensor(self, sheet: Sheet) -> Optional[np.ndarray]:
+        """The fine prefix applied to the sheet's padded tensor, memoized."""
+        tensor = self.encoder.featurizer.padded_sheet_tensor(sheet)
+        if tensor is None:  # sheet exceeds the densification budget
+            return None
+        reduced = self._reduced_cache.get(sheet)
+        if reduced is not None:
+            return reduced
+        prefix, __ = self._fine_fast_path()
+        height, width, dim = tensor.shape
+        block = tensor.reshape(-1, dim)
+        for layer in prefix:
+            block = layer.forward(block, training=False)
+        reduced = block.reshape(height, width, -1)
+        self._reduced_cache.put(sheet, reduced)
+        return reduced
+
+    def _fine_region_vectors_fast(
+        self, sheet: Sheet, centers: List[CellAddress], blank_center: bool
+    ) -> Optional[np.ndarray]:
+        """Fine region embeddings via the reduced per-sheet tensor, or
+        ``None`` when the fast path does not apply."""
+        if self._fine_fast_path() is None:
+            return None
+        reduced = self._reduced_sheet_tensor(sheet)
+        if reduced is None:
+            return None
+        rows = self.encoder.featurizer.config.window_rows
+        cols = self.encoder.featurizer.config.window_cols
+        padding = self._reduced_padding_features()
+        windows = gather_windows(
+            reduced, centers, sheet.n_rows, sheet.n_cols, rows, cols, padding
+        )
+        if blank_center:
+            windows[:, rows // 2, cols // 2] = padding
+        __, normalizer = self._fine_fast_path()
+        return normalizer.forward(windows.reshape(len(centers), -1), training=False)
+
     def _target_region_vectors(self, sheet: Sheet, centers: Sequence[CellAddress]) -> np.ndarray:
-        """Region embeddings on a target sheet, memoized per cell."""
-        missing = [
-            center
-            for center in centers
-            if (id(sheet), center.row, center.col) not in self._target_cache
-        ]
+        """Region embeddings on a target sheet, memoized per cell in the LRU."""
+        cache: Optional[Dict[Tuple[int, int], np.ndarray]] = self._target_cache.get(sheet)
+        if cache is None:
+            cache = {}
+            self._target_cache.put(sheet, cache)
+        missing = [center for center in centers if (center.row, center.col) not in cache]
         if missing:
             vectors = self._region_vectors(sheet, missing)
             for center, vector in zip(missing, vectors):
-                self._target_cache[(id(sheet), center.row, center.col)] = vector
-            self._target_cache_sheets[id(sheet)] = sheet
-        return np.stack(
-            [self._target_cache[(id(sheet), center.row, center.col)] for center in centers]
-        )
+                cache[(center.row, center.col)] = vector
+        return np.stack([cache[(center.row, center.col)] for center in centers])
+
+    def _reference_region_vector(self, sheet: Sheet, center: CellAddress) -> np.ndarray:
+        """Region embedding of one reference parameter cell, memoized."""
+        key = (id(sheet), center.row, center.col)
+        vector = self._reference_region_cache.get(key)
+        if vector is None:
+            vector = self._region_vectors(sheet, [center])[0]
+            self._reference_region_cache[key] = vector
+        return vector
+
+    def _warm_reference_cache(self, sheet: Sheet, centers: Sequence[CellAddress]) -> None:
+        """Embed any uncached reference parameter regions in one forward pass."""
+        missing = [
+            center
+            for center in centers
+            if (id(sheet), center.row, center.col) not in self._reference_region_cache
+        ]
+        if not missing:
+            return
+        vectors = self._region_vectors(sheet, missing)
+        for center, vector in zip(missing, vectors):
+            self._reference_region_cache[(id(sheet), center.row, center.col)] = vector
+
+    def _warm_target_cache(self, sheet: Sheet, centers: Sequence[CellAddress]) -> None:
+        """Embed any uncached target candidate regions in one forward pass."""
+        if centers:
+            self._target_region_vectors(sheet, centers)
 
     # ---------------------------------------------------------------- offline
+
+    @staticmethod
+    def _parameter_cells(formulas: Sequence[_ReferenceFormula]) -> List[CellAddress]:
+        """Unique cells referenced as parameters by any of ``formulas``."""
+        references: List[Union[CellAddress, RangeAddress]] = []
+        for formula in formulas:
+            try:
+                ast = parse_formula(formula.formula)
+            except FormulaSyntaxError:
+                continue
+            references.extend(formula_references(ast))
+        return _reference_parameter_cells(references)
 
     def fit(self, reference_workbooks: Sequence[Union[Workbook, Sheet]]) -> None:
         """Offline phase: embed and index every reference sheet and formula."""
         self._reference_sheets = []
         self._target_cache.clear()
-        self._target_cache_sheets.clear()
+        self._reference_region_cache.clear()
+        self._reduced_cache.clear()
+        # The encoder's models (weights or whole objects) may have changed
+        # since the last fit; drop everything derived from them.
+        self._reduced_padding = None
+        self._fine_fast = _UNSET
 
         sheets: List[Tuple[str, Sheet]] = []
         for item in reference_workbooks:
@@ -120,25 +304,54 @@ class AutoFormula(FormulaPredictor):
             else:
                 sheets.extend((item.name, sheet) for sheet in item)
 
-        dimension = (
+        sheet_dimension = (
             self.encoder.fine_dimension
             if self.config.granularity == "fine_only"
             else self.encoder.coarse_dimension
         )
-        self._sheet_index = create_index(self.config.sheet_index_kind, dimension)
+        region_dimension = (
+            self.encoder.coarse_dimension
+            if self.config.granularity == "coarse_only"
+            else self.encoder.fine_dimension
+        )
+        self._sheet_index = create_index(self.config.sheet_index_kind, sheet_dimension)
+        self._formula_index = create_index(self.config.formula_index_kind, region_dimension)
+        self._formula_positions = []
 
+        offset = 0
+        sheet_windows: List[np.ndarray] = []
         for position, (workbook_name, sheet) in enumerate(sheets):
             formula_cells = sheet.formula_cells()
             centers = [address for address, __ in formula_cells]
             embeddings = self._region_vectors(sheet, centers, blank_center=True)
             formulas = [
-                _ReferenceFormula(position, address, cell.formula or "", embeddings[index])
-                for index, (address, cell) in enumerate(formula_cells)
+                _ReferenceFormula(position, address, cell.formula or "")
+                for address, cell in formula_cells
             ]
+            # Pre-embed every formula's parameter regions while this sheet's
+            # feature tensor is hot, so online S3 re-grounding never has to
+            # re-featurize a reference sheet.
+            self._warm_reference_cache(sheet, self._parameter_cells(formulas))
             self._reference_sheets.append(
                 _ReferenceSheet(workbook_name=workbook_name, sheet=sheet, formulas=formulas)
             )
-            self._sheet_index.add(position, self._sheet_vector(sheet))
+            self._formula_index.add_batch(
+                [(position, local) for local in range(len(formulas))], embeddings
+            )
+            self._formula_positions.append(
+                np.arange(offset, offset + len(formulas), dtype=np.int64)
+            )
+            offset += len(formulas)
+            sheet_windows.append(self.encoder.featurizer.featurize_sheet(sheet))
+
+        if sheets:
+            windows = np.stack(sheet_windows)
+            model = (
+                self.encoder.fine_model
+                if self.config.granularity == "fine_only"
+                else self.encoder.coarse_model
+            )
+            self._sheet_index.add_batch(list(range(len(sheets))), model.forward(windows))
 
     @property
     def n_reference_sheets(self) -> int:
@@ -154,67 +367,95 @@ class AutoFormula(FormulaPredictor):
 
     def predict(self, target_sheet: Sheet, target_cell: CellAddress) -> Optional[Prediction]:
         """Run S1 -> S2 -> S3 and return a prediction (or ``None`` to abstain)."""
-        if not self._reference_sheets or self._sheet_index is None or len(self._sheet_index) == 0:
-            return None
+        return self.predict_batch(target_sheet, [target_cell])[0]
 
-        # S1: similar-sheet search over the coarse index.
+    def predict_batch(
+        self, target_sheet: Sheet, target_cells: Sequence[CellAddress]
+    ) -> List[Optional[Prediction]]:
+        """Predict every target cell of one sheet, sharing the per-sheet work.
+
+        S1 runs once, all target regions are featurized and encoded in one
+        forward pass, and S2 scores the whole batch against the candidate
+        formula pool with a single matrix product.
+        """
+        cells = list(target_cells)
+        if not cells:
+            return []
+        if not self._reference_sheets or self._sheet_index is None or len(self._sheet_index) == 0:
+            return [None] * len(cells)
+
+        # S1: similar-sheet search over the coarse index (once per sheet).
         sheet_hits = self._sheet_index.search(
             self._sheet_vector(target_sheet), k=self.config.top_k_sheets
         )
-        candidate_sheets = [self._reference_sheets[int(hit.key)] for hit in sheet_hits]
-
-        # S2: similar-region search among the candidate sheets' formula cells.
-        target_vector = self._region_vectors(target_sheet, [target_cell], blank_center=True)[0]
-        best: Optional[Tuple[float, _ReferenceSheet, _ReferenceFormula]] = None
-        for reference in candidate_sheets:
-            for formula in reference.formulas:
-                distance = float(np.sum((formula.embedding - target_vector) ** 2))
-                if best is None or distance < best[0]:
-                    best = (distance, reference, formula)
-        if best is None:
-            return None
-        distance, reference, reference_formula = best
-        if distance > self.config.acceptance_threshold:
-            return None
-        confidence = max(0.0, 1.0 - distance / 4.0)
-
-        # S3: re-ground each parameter of the reference formula.
-        predicted = self._adapt_formula(
-            reference.sheet, reference_formula, target_sheet, target_cell
+        # S2 candidate pool: every formula region of the S1 sheets, in hit
+        # order so distance ties resolve toward the most similar sheet.
+        pool = (
+            np.concatenate([self._formula_positions[int(hit.key)] for hit in sheet_hits])
+            if sheet_hits
+            else np.empty(0, dtype=np.int64)
         )
-        if predicted is None:
-            return None
-        return Prediction(
-            formula=predicted,
-            confidence=confidence,
-            details={
-                "reference_workbook": reference.workbook_name,
-                "reference_sheet": reference.sheet.name,
-                "reference_cell": reference_formula.address.to_a1(),
-                "reference_formula": reference_formula.formula,
-                "s2_distance": distance,
-            },
-        )
+        if pool.size == 0:
+            return [None] * len(cells)
+
+        # S2: one matmul scoring all target regions against the pool.
+        target_vectors = self._region_vectors(target_sheet, cells, blank_center=True)
+        hit_lists = self._formula_index.search_batch(target_vectors, k=1, positions=pool)
+
+        predictions: List[Optional[Prediction]] = []
+        for target_cell, hits in zip(cells, hit_lists):
+            if not hits:
+                predictions.append(None)
+                continue
+            distance = hits[0].distance
+            if distance > self.config.acceptance_threshold:
+                predictions.append(None)
+                continue
+            sheet_position, local = hits[0].key
+            reference = self._reference_sheets[int(sheet_position)]
+            reference_formula = reference.formulas[int(local)]
+            confidence = max(0.0, 1.0 - distance / 4.0)
+
+            # S3: re-ground each parameter of the reference formula.
+            predicted = self._adapt_formula(
+                reference.sheet, reference_formula, target_sheet, target_cell
+            )
+            if predicted is None:
+                predictions.append(None)
+                continue
+            predictions.append(
+                Prediction(
+                    formula=predicted,
+                    confidence=confidence,
+                    details={
+                        "reference_workbook": reference.workbook_name,
+                        "reference_sheet": reference.sheet.name,
+                        "reference_cell": reference_formula.address.to_a1(),
+                        "reference_formula": reference_formula.formula,
+                        "s2_distance": distance,
+                    },
+                )
+            )
+        return predictions
 
     # --------------------------------------------------------------------- S3
 
-    def _candidate_addresses(
+    def _candidate_grid(
         self, target_sheet: Sheet, center_row: int, center_col: int
-    ) -> List[CellAddress]:
-        """The +/- neighborhood around a translated parameter location."""
+    ) -> Optional[np.ndarray]:
+        """(n, 2) row/col array of the +/- neighborhood around an anchor."""
         rows = self.config.neighborhood_rows
         cols = self.config.neighborhood_cols
         max_row = max(target_sheet.n_rows - 1, 0)
         max_col = max(target_sheet.n_cols - 1, 0)
-        candidates: List[CellAddress] = []
-        for row in range(center_row - rows, center_row + rows + 1):
-            if row < 0 or row > max_row:
-                continue
-            for col in range(center_col - cols, center_col + cols + 1):
-                if col < 0 or col > max_col:
-                    continue
-                candidates.append(CellAddress(row, col))
-        return candidates
+        row_lo, row_hi = max(center_row - rows, 0), min(center_row + rows, max_row)
+        col_lo, col_hi = max(center_col - cols, 0), min(center_col + cols, max_col)
+        if row_lo > row_hi or col_lo > col_hi:
+            return None
+        grid_rows, grid_cols = np.meshgrid(
+            np.arange(row_lo, row_hi + 1), np.arange(col_lo, col_hi + 1), indexing="ij"
+        )
+        return np.stack([grid_rows.ravel(), grid_cols.ravel()], axis=1)
 
     def _map_cell(
         self,
@@ -243,31 +484,68 @@ class AutoFormula(FormulaPredictor):
             (reference_cell.row + row_delta, reference_cell.col + col_delta),
             (reference_cell.row, reference_cell.col),
         ]
-        candidates: List[CellAddress] = []
-        seen = set()
-        for anchor_row, anchor_col in anchors:
-            for candidate in self._candidate_addresses(target_sheet, anchor_row, anchor_col):
-                key = (candidate.row, candidate.col)
-                if key not in seen:
-                    seen.add(key)
-                    candidates.append(candidate)
-        if not candidates:
+        grids = [
+            grid
+            for anchor_row, anchor_col in anchors
+            if (grid := self._candidate_grid(target_sheet, anchor_row, anchor_col)) is not None
+        ]
+        if not grids:
             return CellAddress(max(anchors[0][0], 0), max(anchors[0][1], 0))
-        reference_vector = self._region_vectors(reference_sheet, [reference_cell])[0]
+        # De-duplicate while keeping first-occurrence order (primary-anchor
+        # candidates first), so ties keep breaking the same way the original
+        # sequential scan did.
+        coords = _dedupe_coords(np.concatenate(grids, axis=0))
+        candidates = [CellAddress(int(row), int(col)) for row, col in coords]
+
+        reference_vector = self._reference_region_vector(reference_sheet, reference_cell)
         candidate_vectors = self._target_region_vectors(target_sheet, candidates)
         distances = np.sum((candidate_vectors - reference_vector) ** 2, axis=1)
-        penalties = np.array(
+        penalties = np.minimum.reduce(
             [
-                min(
-                    abs(candidate.row - anchor_row) + abs(candidate.col - anchor_col)
-                    for anchor_row, anchor_col in anchors
-                )
-                for candidate in candidates
-            ],
-            dtype=np.float32,
-        )
+                np.abs(coords[:, 0] - anchor_row) + np.abs(coords[:, 1] - anchor_col)
+                for anchor_row, anchor_col in anchors
+            ]
+        ).astype(np.float32)
         scores = distances + self.config.locality_penalty * penalties
         return candidates[int(np.argmin(scores))]
+
+    def _prepare_adaptation(
+        self,
+        references: Sequence[Union[CellAddress, RangeAddress]],
+        reference_sheet: Sheet,
+        reference_formula: _ReferenceFormula,
+        target_sheet: Sheet,
+        target_cell: CellAddress,
+    ) -> None:
+        """Warm both region caches for every parameter in two forward passes.
+
+        ``_map_cell`` then runs on cache hits only: without this, each
+        parameter (and each end of each range) would trigger its own fine
+        forward pass over its reference region and its ~(2d+1)^2 candidate
+        neighborhood, most of which overlap between parameters.
+        """
+        unique_params = _reference_parameter_cells(references)
+        if not unique_params:
+            return
+        self._warm_reference_cache(reference_sheet, unique_params)
+
+        row_delta = target_cell.row - reference_formula.address.row
+        col_delta = target_cell.col - reference_formula.address.col
+        grids = []
+        for cell in unique_params:
+            for anchor_row, anchor_col in (
+                (cell.row + row_delta, cell.col + col_delta),
+                (cell.row, cell.col),
+            ):
+                grid = self._candidate_grid(target_sheet, anchor_row, anchor_col)
+                if grid is not None:
+                    grids.append(grid)
+        if not grids:
+            return
+        coords = _dedupe_coords(np.concatenate(grids, axis=0))
+        self._warm_target_cache(
+            target_sheet, [CellAddress(int(row), int(col)) for row, col in coords]
+        )
 
     def _adapt_formula(
         self,
@@ -282,6 +560,7 @@ class AutoFormula(FormulaPredictor):
         except FormulaSyntaxError:
             return None
         references = formula_references(ast)
+        self._prepare_adaptation(references, reference_sheet, reference_formula, target_sheet, target_cell)
         mapped: List[Union[CellAddress, RangeAddress]] = []
         for reference in references:
             if isinstance(reference, RangeAddress):

@@ -37,7 +37,11 @@ class CachingEmbedder(TextEmbedder):
         if cached is not None:
             self._cache.move_to_end(text)
             return cached
-        vector = self._inner.embed(text)
+        # Own a private copy and freeze it: every future hit returns this
+        # same array, so a caller mutating it in place would otherwise
+        # silently corrupt all subsequent lookups of ``text``.
+        vector = np.array(self._inner.embed(text), dtype=np.float32)
+        vector.setflags(write=False)
         self._cache[text] = vector
         if len(self._cache) > self._max_entries:
             self._cache.popitem(last=False)

@@ -17,6 +17,7 @@ from repro.evaluation.pr_curve import PRPoint, precision_recall_curve
 from repro.evaluation.buckets import bucketize_results, bucket_metrics
 from repro.evaluation.runner import (
     EvaluationRun,
+    predict_cases,
     run_method_on_cases,
     run_method_on_corpus,
     prepare_corpus_evaluation,
@@ -35,6 +36,7 @@ __all__ = [
     "bucketize_results",
     "bucket_metrics",
     "EvaluationRun",
+    "predict_cases",
     "run_method_on_cases",
     "run_method_on_corpus",
     "prepare_corpus_evaluation",

@@ -60,6 +60,31 @@ def prepare_corpus_evaluation(
     )
 
 
+def predict_cases(
+    predictor: FormulaPredictor, cases: Sequence[TestCase]
+) -> List[Optional[Prediction]]:
+    """Predict every case, batching consecutive cases on the same sheet.
+
+    Test cases are sampled sheet by sheet, so consecutive cases usually
+    share their target sheet; routing each run of same-sheet cases through
+    :meth:`FormulaPredictor.predict_batch` lets batch-aware methods share
+    featurization and sheet-level retrieval across the run.  Predictions
+    come back in case order, identical to sequential ``predict`` calls.
+    """
+    predictions: List[Optional[Prediction]] = []
+    start = 0
+    while start < len(cases):
+        end = start
+        sheet = cases[start].target_sheet
+        while end < len(cases) and cases[end].target_sheet is sheet:
+            end += 1
+        predictions.extend(
+            predictor.predict_batch(sheet, [case.target_cell for case in cases[start:end]])
+        )
+        start = end
+    return predictions
+
+
 def run_method_on_cases(
     predictor: FormulaPredictor,
     reference_workbooks: Sequence[Workbook],
@@ -70,9 +95,7 @@ def run_method_on_cases(
     """Fit a predictor on the reference set and evaluate it on the cases."""
     if fit:
         predictor.fit(reference_workbooks)
-    predictions: List[Optional[Prediction]] = [
-        predictor.predict(case.target_sheet, case.target_cell) for case in cases
-    ]
+    predictions = predict_cases(predictor, cases)
     results = evaluate_predictions(cases, predictions)
     return EvaluationRun(method=predictor.name, corpus_name=corpus_name, results=results)
 

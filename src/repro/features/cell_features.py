@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Optional
 
 import numpy as np
@@ -46,10 +47,21 @@ class CellFeaturizer:
     compatible across ablation runs.
     """
 
-    def __init__(self, config: FeatureConfig, embedder: Optional[TextEmbedder] = None) -> None:
+    def __init__(
+        self,
+        config: FeatureConfig,
+        embedder: Optional[TextEmbedder] = None,
+        max_cached_cells: int = 100_000,
+    ) -> None:
         self._config = config
         self._embedder = embedder or config.create_embedder()
         self._content_dim = config.content_embedding_dim
+        self._max_cached_cells = max_cached_cells
+        #: LRU over full feature vectors, keyed by the cell *content* that
+        #: determines them: (value, has-formula, style, validity).  Corpora
+        #: repeat the same headers, labels and styles across thousands of
+        #: cells, so this removes most per-cell Python work.
+        self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
     # ----------------------------------------------------------------- layout
 
@@ -135,7 +147,32 @@ class CellFeaturizer:
         return features
 
     def featurize(self, cell: Cell, valid: bool = True) -> np.ndarray:
-        """Full feature vector for a single cell."""
+        """Full feature vector for a single cell.
+
+        The returned array is shared through a content-keyed cache and
+        marked read-only; copy it before mutating.
+        """
+        try:
+            # type(value) disambiguates 1 / 1.0 / True, which compare (and
+            # hash) equal as dict keys but featurize differently.
+            key = (type(cell.value), cell.value, bool(cell.formula), cell.style, valid)
+            hash(key)
+        except TypeError:  # unhashable exotic value; compute uncached
+            key = None
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                return cached
+        vector = self._featurize_uncached(cell, valid)
+        vector.setflags(write=False)
+        if key is not None:
+            self._cache[key] = vector
+            if len(self._cache) > self._max_cached_cells:
+                self._cache.popitem(last=False)
+        return vector
+
+    def _featurize_uncached(self, cell: Cell, valid: bool) -> np.ndarray:
         parts: List[np.ndarray] = []
         if self._config.use_content_features:
             parts.append(self._semantic_features(cell))

@@ -2,15 +2,65 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.features.cell_features import CellFeaturizer
 from repro.features.config import FeatureConfig
 from repro.sheet.addressing import CellAddress
 from repro.sheet.cell import EMPTY_CELL
 from repro.sheet.sheet import Sheet
+
+#: Padded-tensor byte budget above which a sheet is featurized window by
+#: window instead of densified.  Counted in bytes of the dense tensor (cells
+#: x feature dim x 4), so both huge extents and sparse sheets with far-flung
+#: cells (tiny stored count, enormous bounding box) fall back to the sparse
+#: path instead of materializing hundreds of megabytes.
+_MAX_DENSE_BYTES = 1 << 25  # 32 MiB per sheet tensor
+
+
+class SheetKeyedLRU:
+    """Bounded LRU of per-sheet values keyed by ``id(sheet)``.
+
+    Each entry pins the sheet object, so an ``id()`` can never be recycled
+    while its entry is alive; eviction is deterministic (least recently
+    used first).  Shared by every sheet-keyed cache in the system (feature
+    tensors, reduced tensors, target-region embeddings).
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[int, Tuple[Sheet, object]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, sheet: Sheet):
+        """The cached value for ``sheet`` (refreshing recency), or ``None``."""
+        entry = self._entries.get(id(sheet))
+        if entry is None or entry[0] is not sheet:
+            return None
+        self._entries.move_to_end(id(sheet))
+        return entry[1]
+
+    def put(self, sheet: Sheet, value) -> None:
+        """Insert/refresh ``sheet``'s value, evicting LRU entries over bound."""
+        self._entries[id(sheet)] = (sheet, value)
+        self._entries.move_to_end(id(sheet))
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def sheets(self):
+        """Cached sheets, least recently used first."""
+        return [entry[0] for entry in self._entries.values()]
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 def region_window_bounds(
@@ -35,22 +85,103 @@ def sheet_window_bounds() -> Tuple[int, int]:
     return 0, 0
 
 
+def window_from_padded(
+    tensor: np.ndarray,
+    row0: int,
+    col0: int,
+    window_rows: int,
+    window_cols: int,
+    padding_vector: np.ndarray,
+) -> np.ndarray:
+    """One window whose top-left sits at padded coordinates (row0, col0).
+
+    Parts of the window that fall outside the tensor read as
+    ``padding_vector``.  Works for any per-sheet tensor in any vector space
+    (raw cell features or model-reduced features).
+    """
+    window = np.empty((window_rows, window_cols, tensor.shape[-1]), dtype=np.float32)
+    window[:] = padding_vector
+    row_lo, row_hi = max(row0, 0), min(row0 + window_rows, tensor.shape[0])
+    col_lo, col_hi = max(col0, 0), min(col0 + window_cols, tensor.shape[1])
+    if row_lo < row_hi and col_lo < col_hi:
+        window[row_lo - row0 : row_hi - row0, col_lo - col0 : col_hi - col0] = tensor[
+            row_lo:row_hi, col_lo:col_hi
+        ]
+    return window
+
+
+def gather_windows(
+    tensor: np.ndarray,
+    centers,
+    n_rows: int,
+    n_cols: int,
+    window_rows: int,
+    window_cols: int,
+    padding_vector: np.ndarray,
+) -> np.ndarray:
+    """All windows in one vectorized gather from a padded per-sheet tensor.
+
+    ``tensor`` must have a ``window_rows // 2`` / ``window_cols // 2`` border
+    around the sheet's ``n_rows`` x ``n_cols`` used extent, so a window
+    centered on an in-extent cell is exactly the tensor block whose top-left
+    padded coordinate equals the center's sheet coordinate — the common case
+    is a single fancy-indexed slice of ``sliding_window_view``.  Centers
+    outside the used extent (a query on an empty part of the sheet) fall
+    back to a per-window rectangle copy against the same tensor.
+    """
+    count = len(centers)
+    dim = tensor.shape[-1]
+    center_rows = np.fromiter((center.row for center in centers), dtype=np.int64, count=count)
+    center_cols = np.fromiter((center.col for center in centers), dtype=np.int64, count=count)
+    in_extent = (
+        (center_rows >= 0) & (center_rows < n_rows) & (center_cols >= 0) & (center_cols < n_cols)
+    )
+    windows = np.empty((count, window_rows, window_cols, dim), dtype=np.float32)
+    if in_extent.any():
+        view = sliding_window_view(tensor, (window_rows, window_cols), axis=(0, 1))
+        gathered = view[center_rows[in_extent], center_cols[in_extent]]
+        windows[in_extent] = np.moveaxis(gathered, 1, -1)
+    for position in np.flatnonzero(~in_extent):
+        top, left = region_window_bounds(centers[int(position)], window_rows, window_cols)
+        windows[position] = window_from_padded(
+            tensor,
+            top + window_rows // 2,
+            left + window_cols // 2,
+            window_rows,
+            window_cols,
+            padding_vector,
+        )
+    return windows
+
+
 class WindowFeaturizer:
     """Builds ``(window_rows, window_cols, cell_dim)`` tensors from sheets.
 
     Windows on the same sheet overlap heavily (every formula cell gets its
-    own region window), so per-cell feature vectors are memoized per sheet
-    object.  The cache holds a strong reference to each sheet it has seen so
-    ``id()`` values cannot be recycled; call :meth:`clear_cache` between
-    unrelated workloads to release memory.
+    own region window), so each sheet is featurized *once* into a padded
+    per-sheet feature tensor — interior cells carry their real features,
+    the border carries invalid-padding features — and every window is then
+    a vectorized gather from that tensor.  Tensors live in a bounded LRU
+    keyed per sheet; the LRU entry pins the sheet object so ``id()`` values
+    cannot be recycled while cached, and eviction is deterministic (least
+    recently used first).  Call :meth:`clear_cache` between unrelated
+    workloads to release memory early.
     """
 
-    def __init__(self, config: Optional[FeatureConfig] = None, featurizer: Optional[CellFeaturizer] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[FeatureConfig] = None,
+        featurizer: Optional[CellFeaturizer] = None,
+        max_cached_sheets: int = 64,
+    ) -> None:
+        if max_cached_sheets <= 0:
+            raise ValueError("max_cached_sheets must be positive")
         self.config = config or FeatureConfig()
         self.cell_featurizer = featurizer or CellFeaturizer(self.config)
-        self._cell_cache: dict = {}
-        self._cached_sheets: dict = {}
+        #: Padded per-sheet feature tensors, LRU-bounded.
+        self._tensor_cache = SheetKeyedLRU(max_cached_sheets)
         self._padding_vector: Optional[np.ndarray] = None
+        self._empty_vector: Optional[np.ndarray] = None
 
     @property
     def window_shape(self) -> Tuple[int, int, int]:
@@ -58,39 +189,89 @@ class WindowFeaturizer:
         return (self.config.window_rows, self.config.window_cols, self.cell_featurizer.dimension)
 
     def clear_cache(self) -> None:
-        """Drop all memoized per-cell feature vectors."""
-        self._cell_cache.clear()
-        self._cached_sheets.clear()
+        """Drop all memoized per-sheet feature tensors."""
+        self._tensor_cache.clear()
 
     def _padding_features(self) -> np.ndarray:
         if self._padding_vector is None:
             self._padding_vector = self.cell_featurizer.featurize(EMPTY_CELL, valid=False)
         return self._padding_vector
 
-    def _cell_features(self, sheet: Sheet, row: int, col: int) -> np.ndarray:
-        key = (id(sheet), row, col)
-        cached = self._cell_cache.get(key)
-        if cached is not None:
-            return cached
-        vector = self.cell_featurizer.featurize(sheet.get((row, col)), valid=True)
-        self._cell_cache[key] = vector
-        self._cached_sheets[id(sheet)] = sheet
-        return vector
+    def padding_features(self) -> np.ndarray:
+        """Feature vector of an out-of-bounds (invalid) padding cell."""
+        return self._padding_features()
 
-    def _window_from(self, sheet: Sheet, top: int, left: int) -> np.ndarray:
+    def _empty_features(self) -> np.ndarray:
+        if self._empty_vector is None:
+            self._empty_vector = self.cell_featurizer.featurize(EMPTY_CELL, valid=True)
+        return self._empty_vector
+
+    # ------------------------------------------------------- per-sheet tensor
+
+    def _padded_shape(self, sheet: Sheet) -> Tuple[int, int]:
+        rows, cols = self.config.window_rows, self.config.window_cols
+        return sheet.n_rows + rows - 1, sheet.n_cols + cols - 1
+
+    def _build_tensor(self, sheet: Sheet) -> np.ndarray:
+        """Padded feature tensor: a ``window_rows//2`` / ``window_cols//2``
+        border of invalid-padding cells around the sheet's used extent."""
+        rows, cols = self.config.window_rows, self.config.window_cols
+        pad_row, pad_col = rows // 2, cols // 2
+        height, width = self._padded_shape(sheet)
+        tensor = np.empty((height, width, self.cell_featurizer.dimension), dtype=np.float32)
+        tensor[:] = self._padding_features()
+        interior = tensor[pad_row : pad_row + sheet.n_rows, pad_col : pad_col + sheet.n_cols]
+        interior[:] = self._empty_features()
+        for address, cell in sheet.cells():
+            interior[address.row, address.col] = self.cell_featurizer.featurize(cell, valid=True)
+        return tensor
+
+    def _sheet_tensor(self, sheet: Sheet) -> np.ndarray:
+        tensor = self._tensor_cache.get(sheet)
+        if tensor is None:
+            tensor = self._build_tensor(sheet)
+            self._tensor_cache.put(sheet, tensor)
+        return tensor
+
+    def _densifiable(self, sheet: Sheet) -> bool:
+        height, width = self._padded_shape(sheet)
+        return height * width * self.cell_featurizer.dimension * 4 <= _MAX_DENSE_BYTES
+
+    def padded_sheet_tensor(self, sheet: Sheet) -> Optional[np.ndarray]:
+        """The cached padded feature tensor of ``sheet``, or ``None`` when
+        the sheet exceeds the densification budget.
+
+        Exposed so callers can derive their own per-sheet tensors (e.g. the
+        pipeline's model-reduced tensors) from the same featurization.
+        """
+        if not self._densifiable(sheet):
+            return None
+        return self._sheet_tensor(sheet)
+
+    def _window_sparse(self, sheet: Sheet, top: int, left: int) -> np.ndarray:
+        """Cell-by-cell assembly for sheets too large to densify."""
         rows, cols = self.config.window_rows, self.config.window_cols
         tensor = np.zeros(self.window_shape, dtype=np.float32)
         n_rows, n_cols = sheet.n_rows, sheet.n_cols
         padding = self._padding_features()
+        empty = self._empty_features()
         for row_offset in range(rows):
             row = top + row_offset
             for col_offset in range(cols):
                 col = left + col_offset
                 if 0 <= row < n_rows and 0 <= col < n_cols:
-                    tensor[row_offset, col_offset] = self._cell_features(sheet, row, col)
+                    cell = sheet.get((row, col))
+                    if cell is EMPTY_CELL:
+                        tensor[row_offset, col_offset] = empty
+                    else:
+                        tensor[row_offset, col_offset] = self.cell_featurizer.featurize(
+                            cell, valid=True
+                        )
                 else:
                     tensor[row_offset, col_offset] = padding
         return tensor
+
+    # -------------------------------------------------------------- windowing
 
     def featurize_region(
         self, sheet: Sheet, center: CellAddress, blank_center: bool = False
@@ -104,23 +285,44 @@ class WindowFeaturizer:
         value, so masking the center on both sides makes their surrounding
         regions directly comparable.
         """
-        top, left = region_window_bounds(center, self.config.window_rows, self.config.window_cols)
-        window = self._window_from(sheet, top, left)
-        if blank_center:
-            window = window.copy()
-            window[center.row - top, center.col - left] = self._padding_features()
-        return window
+        return self.featurize_regions(sheet, [center], blank_center=blank_center)[0]
 
     def featurize_sheet(self, sheet: Sheet) -> np.ndarray:
         """Window tensor representing the whole sheet (top-left anchored)."""
         top, left = sheet_window_bounds()
-        return self._window_from(sheet, top, left)
+        rows, cols = self.config.window_rows, self.config.window_cols
+        if not self._densifiable(sheet):
+            return self._window_sparse(sheet, top, left)
+        tensor = self._sheet_tensor(sheet)
+        # Padded coordinates of a window are its sheet coordinates shifted by
+        # the border width.
+        return window_from_padded(
+            tensor, top + rows // 2, left + cols // 2, rows, cols, self._padding_features()
+        )
 
     def featurize_regions(self, sheet: Sheet, centers, blank_center: bool = False) -> np.ndarray:
         """Stack of window tensors, one per center address."""
+        centers = list(centers)
+        rows, cols, dim = self.window_shape
         if not centers:
-            rows, cols, dim = self.window_shape
             return np.zeros((0, rows, cols, dim), dtype=np.float32)
-        return np.stack(
-            [self.featurize_region(sheet, center, blank_center=blank_center) for center in centers]
-        )
+        if not self._densifiable(sheet):
+            windows = np.stack(
+                [
+                    self._window_sparse(sheet, *region_window_bounds(center, rows, cols))
+                    for center in centers
+                ]
+            )
+        else:
+            windows = gather_windows(
+                self._sheet_tensor(sheet),
+                centers,
+                sheet.n_rows,
+                sheet.n_cols,
+                rows,
+                cols,
+                self._padding_features(),
+            )
+        if blank_center:
+            windows[:, rows // 2, cols // 2] = self._padding_features()
+        return windows

@@ -121,6 +121,190 @@ class TestApproximateRecall:
         assert hits[0].key == 45
 
 
+class TestRandomCorpusRecall:
+    """Recall-vs-exact parity on *uniform random* corpora (no cluster
+    structure to help the coarse quantizer or the hash tables)."""
+
+    def _recall_at_5(self, approximate_index, vectors: np.ndarray, n_queries: int = 40) -> float:
+        exact = ExactIndex(vectors.shape[1])
+        exact.add_batch(list(range(len(vectors))), vectors)
+        approximate_index.add_batch(list(range(len(vectors))), vectors)
+        hits = 0
+        for query in vectors[:n_queries]:
+            truth = {hit.key for hit in exact.search(query, k=5)}
+            approx = {hit.key for hit in approximate_index.search(query, k=5)}
+            hits += len(truth & approx)
+        return hits / (n_queries * 5)
+
+    def test_lsh_recall_on_random_corpus(self):
+        vectors = _random_vectors(300, 24, seed=11)
+        assert self._recall_at_5(LSHIndex(24, n_tables=12, n_bits=6, seed=1), vectors) > 0.5
+
+    def test_ivf_recall_on_random_corpus(self):
+        vectors = _random_vectors(300, 24, seed=11)
+        assert self._recall_at_5(IVFIndex(24, n_clusters=12, n_probe=5, seed=1), vectors) > 0.6
+
+
+class TestExactScanFallback:
+    """Approximate indexes must fall back to a full scan when their
+    candidate pools cannot satisfy ``k``."""
+
+    @pytest.mark.parametrize("kind", ["lsh", "ivf"])
+    def test_k_larger_than_candidate_pool_matches_exact(self, kind):
+        dim = 16
+        vectors = _random_vectors(30, dim, seed=2)
+        exact = ExactIndex(dim)
+        exact.add_batch(list(range(30)), vectors)
+        index = create_index(kind, dim)
+        index.add_batch(list(range(30)), vectors)
+        for query in vectors[:5]:
+            truth = [hit.key for hit in exact.search(query, k=25)]
+            approx = [hit.key for hit in index.search(query, k=25)]
+            assert approx == truth
+
+    def test_ivf_below_training_threshold_is_exact(self):
+        dim = 8
+        index = IVFIndex(dim, n_clusters=8, n_probe=1)
+        vectors = _random_vectors(10, dim, seed=5)  # < 2 * n_clusters
+        index.add_batch(list(range(10)), vectors)
+        exact = ExactIndex(dim)
+        exact.add_batch(list(range(10)), vectors)
+        for query in vectors:
+            assert [h.key for h in index.search(query, k=3)] == [
+                h.key for h in exact.search(query, k=3)
+            ]
+
+
+class TestLSHDeterminism:
+    def test_tied_candidates_rank_deterministically(self):
+        """Duplicate vectors produce exact distance ties; the winner must be
+        the same on every run and every rebuild (lowest position first)."""
+        dim = 16
+        base = _random_vectors(20, dim, seed=7)
+        vectors = np.concatenate([base, base, base])  # every vector x3
+        keys = list(range(len(vectors)))
+
+        def build():
+            index = LSHIndex(dim, n_tables=6, n_bits=4, seed=3)
+            index.add_batch(keys, vectors)
+            return index
+
+        first = build()
+        second = build()
+        for query in base[:10]:
+            hits_first = [(h.key, round(h.distance, 6)) for h in first.search(query, k=4)]
+            hits_second = [(h.key, round(h.distance, 6)) for h in second.search(query, k=4)]
+            assert hits_first == hits_second
+        # among exact ties the lowest stored position wins
+        hits = first.search(base[0], k=3)
+        tied = [hit.key for hit in hits if hit.distance == hits[0].distance]
+        assert tied == sorted(tied)
+
+    def test_candidate_positions_sorted(self):
+        index = LSHIndex(8, n_tables=4, n_bits=2, seed=0)
+        vectors = _random_vectors(60, 8, seed=9)
+        index.add_batch(list(range(60)), vectors)
+        candidates = index._candidates(vectors[0], k=1)
+        if candidates is not None:
+            assert np.all(np.diff(candidates) > 0)
+
+
+class TestIVFIncrementalAdd:
+    def test_adds_assign_to_existing_centroids_without_retraining(self):
+        dim = 8
+        index = IVFIndex(dim, n_clusters=4, n_probe=2)
+        first = _random_vectors(40, dim, seed=3)
+        index.add_batch(list(range(40)), first)
+        index.search(first[0], k=1)  # trains the quantizer
+        trained_size = index._trained_size
+        centroids = index._centroids.copy()
+
+        extra = _random_vectors(10, dim, seed=4)
+        index.add_batch(list(range(40, 50)), extra)
+        hits = index.search(extra[5], k=1)
+        assert hits[0].key == 45
+        # still the same quantizer: additions were incremental
+        assert index._trained_size == trained_size
+        assert np.array_equal(index._centroids, centroids)
+
+    def test_retrains_after_doubling(self):
+        dim = 8
+        index = IVFIndex(dim, n_clusters=4, n_probe=2, retrain_growth_factor=2.0)
+        first = _random_vectors(40, dim, seed=3)
+        index.add_batch(list(range(40)), first)
+        index.search(first[0], k=1)
+        extra = _random_vectors(40, dim, seed=4)
+        index.add_batch(list(range(40, 80)), extra)
+        index.search(extra[0], k=1)
+        assert index._trained_size == 80
+
+    def test_incremental_index_still_finds_new_vectors(self):
+        dim = 16
+        index = IVFIndex(dim, n_clusters=4, n_probe=2)
+        vectors = _random_vectors(60, dim, seed=6)
+        index.add_batch(list(range(40)), vectors[:40])
+        index.search(vectors[0], k=1)  # train
+        for step, position in enumerate(range(40, 60)):
+            index.add(position, vectors[position])
+            assert index.search(vectors[position], k=1)[0].key == position
+
+
+class TestBatchedSearch:
+    @pytest.fixture(params=["exact", "lsh", "ivf"])
+    def filled_index(self, request):
+        vectors = _random_vectors(80, 16, seed=8)
+        index = create_index(request.param, 16)
+        index.add_batch(list(range(80)), vectors)
+        return index, vectors
+
+    def test_search_batch_matches_sequential_search(self, filled_index):
+        index, vectors = filled_index
+        queries = vectors[:10]
+        batched = index.search_batch(queries, k=3)
+        for query, hits in zip(queries, batched):
+            assert [(h.key, pytest.approx(h.distance, abs=1e-5)) for h in hits] == [
+                (h.key, pytest.approx(h.distance, abs=1e-5)) for h in index.search(query, k=3)
+            ]
+
+    def test_search_batch_on_empty_index(self):
+        index = ExactIndex(4)
+        assert index.search_batch(np.zeros((3, 4), dtype=np.float32), k=2) == [[], [], []]
+
+    def test_positions_restrict_the_candidate_pool(self):
+        vectors = _random_vectors(50, 8, seed=10)
+        index = ExactIndex(8)
+        index.add_batch(list(range(50)), vectors)
+        pool = np.array([3, 7, 11, 19], dtype=np.int64)
+        hits = index.search_batch(vectors[:5], k=2, positions=pool)
+        for per_query in hits:
+            assert all(hit.key in {3, 7, 11, 19} for hit in per_query)
+        # the nearest pool member wins, even though closer vectors exist
+        exact_in_pool = min(
+            ((int(p), float(np.sum((vectors[p] - vectors[0]) ** 2))) for p in pool),
+            key=lambda item: item[1],
+        )
+        assert hits[0][0].key == exact_in_pool[0]
+
+    def test_contiguous_store_grows(self):
+        index = ExactIndex(4)
+        for position in range(100):
+            index.add(position, np.full(4, position, dtype=np.float32))
+        assert len(index) == 100
+        assert index.vectors.shape == (100, 4)
+        assert np.array_equal(index.vectors[42], np.full(4, 42, dtype=np.float32))
+
+    def test_vectors_view_is_read_only(self):
+        index = ExactIndex(4)
+        index.add("a", np.ones(4, dtype=np.float32))
+        with pytest.raises(ValueError):
+            index.vectors[0, 0] = 5.0
+
+    def test_key_count_mismatch_rejected(self):
+        index = ExactIndex(4)
+        with pytest.raises(ValueError):
+            index.add_batch(["a", "b"], np.ones((3, 4), dtype=np.float32))
+
+
 class TestFactory:
     def test_known_kinds(self):
         assert isinstance(create_index("exact", 4), ExactIndex)

@@ -150,6 +150,65 @@ class TestOnlinePrediction:
         assert prediction.formula == f"=COUNTIF(C7:C37,C{target_cell.row + 1})"
 
 
+class TestBatchPrediction:
+    def test_predict_batch_matches_sequential_predict(self, fitted_system, pge_workload):
+        """The vectorized batch path must return exactly the predictions the
+        sequential path does, abstentions included."""
+        cases, __ = pge_workload
+        by_sheet = {}
+        for case in cases:
+            by_sheet.setdefault(id(case.target_sheet), (case.target_sheet, []))[1].append(
+                case.target_cell
+            )
+        for sheet, cells in by_sheet.values():
+            sequential = [fitted_system.predict(sheet, cell) for cell in cells]
+            batched = fitted_system.predict_batch(sheet, cells)
+            assert len(batched) == len(sequential)
+            for one, many in zip(sequential, batched):
+                if one is None:
+                    assert many is None
+                    continue
+                assert many is not None
+                assert many.formula == one.formula
+                assert many.confidence == pytest.approx(one.confidence, abs=1e-6)
+                assert many.details["reference_cell"] == one.details["reference_cell"]
+
+    def test_predict_batch_empty(self, fitted_system):
+        assert fitted_system.predict_batch(Sheet(), []) == []
+
+    def test_predict_batch_before_fit_abstains(self, trained_encoder):
+        system = AutoFormula(trained_encoder)
+        sheet = Sheet()
+        assert system.predict_batch(sheet, [CellAddress(0, 0), CellAddress(1, 1)]) == [None, None]
+
+    def test_target_cache_is_bounded_lru(self, trained_encoder, pge_workload):
+        """Predicting across many target sheets must not grow memory without
+        bound: the per-sheet embedding cache evicts least-recently-used."""
+        __, reference = pge_workload
+        config = AutoFormulaConfig(max_cached_target_sheets=2)
+        system = AutoFormula(trained_encoder, config)
+        system.fit(reference)
+        sheets = []
+        for index in range(5):
+            sheet = Sheet(f"target-{index}")
+            for row in range(12):
+                sheet.set((row, 0), f"label {row}")
+                sheet.set((row, 1), float(row * index))
+            sheets.append(sheet)
+            system._target_region_vectors(sheet, [CellAddress(6, 1)])
+            assert len(system._target_cache) <= 2
+        # deterministic LRU order: the two most recent sheets survive
+        assert system._target_cache.sheets() == sheets[-2:]
+        # cached vectors are reused and eviction does not change values
+        vector = system._target_region_vectors(sheets[-1], [CellAddress(6, 1)])
+        fresh = system._region_vectors(sheets[-1], [CellAddress(6, 1)])
+        assert np.allclose(vector, fresh)
+
+    def test_invalid_cache_bound_rejected(self):
+        with pytest.raises(ValueError):
+            AutoFormulaConfig(max_cached_target_sheets=0)
+
+
 class TestGranularityModes:
     @pytest.mark.parametrize("granularity", ["both", "coarse_only", "fine_only"])
     def test_all_modes_run(self, trained_encoder, pge_workload, granularity):

@@ -95,6 +95,23 @@ class TestCachingEmbedder:
             caching.embed(text)
         assert caching.cache_size == 3
 
+    def test_cached_vectors_are_read_only(self):
+        """Regression: a caller mutating the returned array must not be able
+        to corrupt future cache hits."""
+        caching = CachingEmbedder(HashedSemanticEmbedder(32))
+        first = caching.embed("Revenue")
+        with pytest.raises(ValueError):
+            first[0] = 123.0
+        second = caching.embed("Revenue")
+        assert np.allclose(second, HashedSemanticEmbedder(32).embed("Revenue"))
+
+    def test_cache_hit_returns_unchanged_values(self):
+        inner = HashedSemanticEmbedder(16)
+        caching = CachingEmbedder(inner)
+        expected = inner.embed("Total").copy()
+        for __ in range(3):
+            assert np.array_equal(caching.embed("Total"), expected)
+
 
 class TestFactory:
     def test_known_names(self):

@@ -15,6 +15,7 @@ from repro.evaluation import (
     overall_average,
     precision_recall_curve,
     precision_recall_f1,
+    predict_cases,
     prepare_corpus_evaluation,
     run_method_on_cases,
     run_method_on_corpus,
@@ -183,6 +184,32 @@ class TestRunners:
         average = overall_average([hit_run, miss_run])
         assert average["recall"] == pytest.approx(0.5)
         assert overall_average([]) == {"recall": 0.0, "precision": 0.0, "f1": 0.0}
+
+    def test_predict_cases_batches_per_sheet_in_order(self):
+        """Consecutive same-sheet cases route through predict_batch as one
+        group; predictions come back in the original case order."""
+        sheet_a, sheet_b = Sheet("A"), Sheet("B")
+        cases = []
+        for sheet, count in ((sheet_a, 3), (sheet_b, 2), (sheet_a, 1)):
+            for __ in range(count):
+                case = _case("=A1")
+                case.target_sheet = sheet
+                cases.append(case)
+
+        class _BatchRecorder(_FixedPredictor):
+            def __init__(self, outputs):
+                super().__init__(outputs)
+                self.batches = []
+
+            def predict_batch(self, target_sheet, target_cells):
+                self.batches.append((target_sheet, len(list(target_cells))))
+                return super().predict_batch(target_sheet, target_cells)
+
+        outputs = [Prediction(f"=A{index}", 1.0) for index in range(len(cases))]
+        predictor = _BatchRecorder(outputs)
+        predictions = predict_cases(predictor, cases)
+        assert [p.formula for p in predictions] == [o.formula for o in outputs]
+        assert predictor.batches == [(sheet_a, 3), (sheet_b, 2), (sheet_a, 1)]
 
 
 class TestLatency:
