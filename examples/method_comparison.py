@@ -1,10 +1,12 @@
 """Compare Auto-Formula against every baseline on one enterprise corpus.
 
-Reproduces a single column of the paper's Table 2 interactively: pick a
-corpus, fit every method on its reference workbooks, and print
-recall / precision / F1 plus a few example predictions per method.
+Reproduces a single column of the paper's Table 2 interactively through
+the service layer: every method — Auto-Formula and the baselines alike —
+is mounted in its own workspace of one FormulaService, fitted on the same
+reference corpus, and evaluated on the same cases.
 
 Run with:  python examples/method_comparison.py [corpus]
+           python examples/method_comparison.py [corpus] --legacy
            (corpus is one of PGE, Cisco, TI, Enron; default PGE)
 """
 
@@ -13,7 +15,9 @@ import sys
 from repro import (
     AutoFormula,
     AutoFormulaConfig,
+    FormulaService,
     ModelConfig,
+    RecommendationRequest,
     TrainingConfig,
     build_enterprise_corpus,
     build_training_universe,
@@ -30,9 +34,16 @@ from repro.baselines import (
 from repro.evaluation import prepare_corpus_evaluation, run_method_on_cases
 
 
-def main() -> None:
-    corpus_name = sys.argv[1] if len(sys.argv) > 1 else "PGE"
+def build_baselines():
+    return [
+        MondrianBaseline(),
+        WeakSupervisionBaseline(),
+        SpreadsheetCoderBaseline(),
+        SimulatedLLMBaseline(PromptConfig("few_shot_rag", False, "precise", "gpt-4")),
+    ]
 
+
+def prepare(corpus_name):
     print("Training Auto-Formula's representation models ...")
     universe = build_training_universe(n_families=8, copies_per_family=3, n_singletons=6)
     encoder, __ = train_models(
@@ -46,14 +57,60 @@ def main() -> None:
         f"  {len(workload.reference_workbooks)} reference workbooks, "
         f"{len(workload.cases)} test formulas\n"
     )
+    return encoder, workload
 
-    methods = [
-        AutoFormula(encoder, AutoFormulaConfig()),
-        MondrianBaseline(),
-        WeakSupervisionBaseline(),
-        SpreadsheetCoderBaseline(),
-        SimulatedLLMBaseline(PromptConfig("few_shot_rag", False, "precise", "gpt-4")),
-    ]
+
+def main(corpus_name: str) -> None:
+    encoder, workload = prepare(corpus_name)
+
+    # One service, one workspace per method, all sharing the same corpus:
+    # mounting a workspace fits its predictor on the reference workbooks.
+    # The "auto-formula" workspace uses the service's default predictor.
+    service = FormulaService(encoder, AutoFormulaConfig())
+    service.create_workspace("auto-formula", workbooks=workload.reference_workbooks)
+    for method in build_baselines():
+        service.create_workspace(
+            method.name, predictor=method, workbooks=workload.reference_workbooks
+        )
+
+    print(f"{'workspace / method':40s} {'R':>6s} {'P':>6s} {'F1':>6s}")
+    print("-" * 62)
+    for workspace in service:
+        metrics = workspace.evaluate(workload.cases, corpus_name).metrics
+        print(
+            f"{workspace.predictor.name[:40]:40s} "
+            f"{metrics.recall:6.2f} {metrics.precision:6.2f} {metrics.f1:6.2f}"
+        )
+
+    print("\nExample Auto-Formula recommendations (served):")
+    workspace = service["auto-formula"]
+    responses = workspace.serve_batch(
+        [RecommendationRequest(case.target_sheet, case.target_cell) for case in workload.cases]
+    )
+    shown = 0
+    for case, response in zip(workload.cases, responses):
+        if not response.accepted:
+            continue
+        status = "hit " if response.formula == case.ground_truth else "miss"
+        print(
+            f"  [{status}] {case.sheet_name}!{case.target_cell.to_a1():6s} "
+            f"{response.formula}  ({response.latency_seconds * 1000:.1f} ms)"
+        )
+        shown += 1
+        if shown >= 8:
+            break
+    summary = workspace.latency.summary()
+    print(
+        f"\nServed {int(summary['count'])} requests: "
+        f"mean {summary['mean_seconds'] * 1000:.1f} ms, "
+        f"p95 {summary['p95_seconds'] * 1000:.1f} ms per request"
+    )
+
+
+def legacy_main(corpus_name: str) -> None:
+    """The pre-service direct runner API, kept exercised side by side."""
+    encoder, workload = prepare(corpus_name)
+    methods = [AutoFormula(encoder, AutoFormulaConfig())] + build_baselines()
 
     print(f"{'method':40s} {'R':>6s} {'P':>6s} {'F1':>6s}")
     print("-" * 62)
@@ -79,4 +136,9 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    arguments = [argument for argument in sys.argv[1:] if argument != "--legacy"]
+    corpus = arguments[0] if arguments else "PGE"
+    if "--legacy" in sys.argv[1:]:
+        legacy_main(corpus)
+    else:
+        main(corpus)

@@ -20,6 +20,15 @@ Typical usage::
     system = AutoFormula(encoder, AutoFormulaConfig())
     system.fit(reference_workbooks)
     prediction = system.predict(target_sheet, target_cell)
+
+Serving usage (multi-tenant workspaces with mutable corpora)::
+
+    from repro import FormulaService, RecommendationRequest
+
+    service = FormulaService(encoder)
+    workspace = service.create_workspace("acme", workbooks=reference_workbooks)
+    workspace.add_workbook(new_workbook)          # incremental, no refit
+    response = workspace.recommend(RecommendationRequest(target_sheet, "D41"))
 """
 
 from repro.sheet import Cell, CellAddress, CellStyle, RangeAddress, Sheet, Workbook
@@ -36,6 +45,13 @@ from repro.corpus import (
     build_all_enterprise_corpora,
     build_enterprise_corpus,
     build_training_universe,
+)
+from repro.service import (
+    AbstainReason,
+    FormulaService,
+    RecommendationRequest,
+    RecommendationResponse,
+    Workspace,
 )
 
 __version__ = "1.0.0"
@@ -63,5 +79,10 @@ __all__ = [
     "build_enterprise_corpus",
     "build_all_enterprise_corpora",
     "build_training_universe",
+    "AbstainReason",
+    "FormulaService",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "Workspace",
     "__version__",
 ]

@@ -16,16 +16,37 @@ from repro.ann.exact import ExactIndex
 from repro.ann.lsh import LSHIndex
 from repro.ann.ivf import IVFIndex
 
-__all__ = ["SearchResult", "VectorIndex", "ExactIndex", "LSHIndex", "IVFIndex", "create_index"]
+__all__ = [
+    "SearchResult",
+    "VectorIndex",
+    "ExactIndex",
+    "LSHIndex",
+    "IVFIndex",
+    "create_index",
+    "KNOWN_INDEX_KINDS",
+]
+
+_INDEX_BUILDERS = {
+    "exact": ExactIndex,
+    "flat": ExactIndex,
+    "brute": ExactIndex,
+    "lsh": LSHIndex,
+    "ivf": IVFIndex,
+}
+
+#: Every spelling :func:`create_index` accepts (lower-case; matching is
+#: case-insensitive and whitespace-tolerant).  Configuration objects import
+#: this to validate index-kind strings at construction time.
+KNOWN_INDEX_KINDS = frozenset(_INDEX_BUILDERS)
 
 
 def create_index(kind: str, dimension: int, **kwargs) -> VectorIndex:
     """Factory for index construction from configuration strings."""
-    key = kind.strip().lower()
-    if key in ("exact", "flat", "brute"):
+    builder = _INDEX_BUILDERS.get(kind.strip().lower())
+    if builder is None:
+        raise ValueError(
+            f"unknown index kind {kind!r}; expected one of {sorted(KNOWN_INDEX_KINDS)}"
+        )
+    if builder is ExactIndex:
         return ExactIndex(dimension)
-    if key == "lsh":
-        return LSHIndex(dimension, **kwargs)
-    if key == "ivf":
-        return IVFIndex(dimension, **kwargs)
-    raise ValueError(f"unknown index kind {kind!r}")
+    return builder(dimension, **kwargs)

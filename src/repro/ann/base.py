@@ -29,7 +29,16 @@ class VectorIndex(abc.ABC):
     vectorized slices of that matrix — no per-query re-stacking of Python
     lists.  Ties in distance break deterministically toward the candidate at
     the lowest scored position.
+
+    Removal is tombstone-based: :meth:`remove_batch` marks positions dead,
+    every search path excludes dead positions, and once the dead fraction
+    exceeds ``compaction_fraction`` the store is compacted in place (the
+    caller receives an old-position → new-position remap so any pools it
+    holds can be rewritten).
     """
+
+    #: Dead fraction of the store above which ``remove_batch`` compacts.
+    compaction_fraction: float = 0.5
 
     def __init__(self, dimension: int) -> None:
         if dimension <= 0:
@@ -38,7 +47,13 @@ class VectorIndex(abc.ABC):
         self._keys: List[Hashable] = []
         self._matrix = np.empty((0, dimension), dtype=np.float32)
         self._sq_norms = np.empty((0,), dtype=np.float32)
+        self._alive = np.empty((0,), dtype=bool)
         self._size = 0
+        self._n_dead = 0
+        #: Memoized live-position array for full scans over a store with
+        #: tombstones (None = stale; rebuilt on demand, invalidated by
+        #: add/remove/compaction).
+        self._live_scan: Optional[np.ndarray] = None
 
     # -------------------------------------------------------------- interface
 
@@ -48,14 +63,21 @@ class VectorIndex(abc.ABC):
         return self._dimension
 
     def __len__(self) -> int:
-        return self._size
+        """Number of *live* (non-tombstoned) vectors."""
+        return self._size - self._n_dead
+
+    @property
+    def n_tombstones(self) -> int:
+        """Number of removed-but-not-yet-compacted positions."""
+        return self._n_dead
 
     @property
     def vectors(self) -> np.ndarray:
         """Read-only view of the stored vectors in insertion order.
 
         The view is a snapshot: it stops tracking the store once the backing
-        matrix is reallocated by a later ``add``.
+        matrix is reallocated by a later ``add``.  Rows tombstoned by
+        :meth:`remove_batch` are still present until compaction.
         """
         view = self._matrix[: self._size]
         view.flags.writeable = False
@@ -93,9 +115,43 @@ class VectorIndex(abc.ABC):
         self._matrix[start : start + count] = vectors
         block = self._matrix[start : start + count]
         self._sq_norms[start : start + count] = np.einsum("ij,ij->i", block, block)
+        self._alive[start : start + count] = True
         self._keys.extend(keys)
         self._size += count
+        self._live_scan = None
         self._on_add_batch(start, block)
+
+    def remove_batch(self, positions: Sequence[int]) -> Optional[np.ndarray]:
+        """Tombstone the vectors stored at ``positions``.
+
+        Tombstoned positions are excluded from every search path (full
+        scans, subclass candidate pools, and caller-provided ``positions``
+        pools).  Once the dead fraction of the store exceeds
+        ``compaction_fraction`` the store is compacted: live vectors are
+        renumbered contiguously and an ``int64`` remap array is returned
+        with ``remap[old_position] == new_position`` (``-1`` for removed
+        positions) so callers can rewrite any position pools they hold.
+        Returns ``None`` when no compaction took place.
+        """
+        positions = np.asarray(list(positions), dtype=np.int64).reshape(-1)
+        if positions.size == 0:
+            return None
+        if int(positions.min()) < 0 or int(positions.max()) >= self._size:
+            raise IndexError(
+                f"positions must be in [0, {self._size}), got range "
+                f"[{int(positions.min())}, {int(positions.max())}]"
+            )
+        if np.unique(positions).size != positions.size:
+            raise ValueError("duplicate positions in remove_batch")
+        if not bool(np.all(self._alive[positions])):
+            raise ValueError("remove_batch called on an already-removed position")
+        self._alive[positions] = False
+        self._n_dead += positions.size
+        self._live_scan = None
+        self._on_remove_batch(positions)
+        if self._n_dead > self.compaction_fraction * self._size:
+            return self._compact()
+        return None
 
     def search(self, query: np.ndarray, k: int = 1) -> List[SearchResult]:
         """Return (up to) the ``k`` nearest stored vectors to ``query``."""
@@ -127,17 +183,19 @@ class VectorIndex(abc.ABC):
                 f"queries must have shape (n, {self._dimension}), got {queries.shape}"
             )
         n_queries = queries.shape[0]
-        if self._size == 0 or k <= 0:
+        n_alive = self._size - self._n_dead
+        if n_alive == 0 or k <= 0:
             return [[] for __ in range(n_queries)]
         if positions is not None:
-            positions = np.asarray(positions, dtype=np.int64)
-            block = self._score_block(queries, positions, k)
-            return block
+            positions = self._live(np.asarray(positions, dtype=np.int64))
+            if positions.size == 0:
+                return [[] for __ in range(n_queries)]
+            return self._score_block(queries, positions, k)
         results: List[Optional[List[SearchResult]]] = [None] * n_queries
         full_rows: List[int] = []
         for row in range(n_queries):
             candidates = self._candidates(queries[row], k)
-            if candidates is None or candidates.size == len(self._keys):
+            if candidates is None or candidates.size >= n_alive:
                 full_rows.append(row)
             elif candidates.size == 0:
                 results[row] = []
@@ -163,6 +221,30 @@ class VectorIndex(abc.ABC):
         sq_norms = np.empty((new_capacity,), dtype=np.float32)
         sq_norms[: self._size] = self._sq_norms[: self._size]
         self._sq_norms = sq_norms
+        alive = np.zeros((new_capacity,), dtype=bool)
+        alive[: self._size] = self._alive[: self._size]
+        self._alive = alive
+
+    def _live(self, positions: np.ndarray) -> np.ndarray:
+        """``positions`` with tombstoned entries dropped (order preserved)."""
+        if self._n_dead == 0:
+            return positions
+        return positions[self._alive[positions]]
+
+    def _compact(self) -> np.ndarray:
+        """Drop tombstoned rows and renumber; returns the old→new remap."""
+        live_positions = np.flatnonzero(self._alive[: self._size])
+        remap = np.full(self._size, -1, dtype=np.int64)
+        remap[live_positions] = np.arange(live_positions.size, dtype=np.int64)
+        self._matrix = self._matrix[live_positions]
+        self._sq_norms = self._sq_norms[live_positions]
+        self._keys = [self._keys[int(position)] for position in live_positions]
+        self._size = live_positions.size
+        self._n_dead = 0
+        self._alive = np.ones(self._size, dtype=bool)
+        self._live_scan = None
+        self._rebuild()
+        return remap
 
     def _score_block(
         self, queries: np.ndarray, positions: Optional[np.ndarray], k: int
@@ -171,7 +253,12 @@ class VectorIndex(abc.ABC):
 
         ``positions=None`` scores against the whole store through the
         contiguous matrix view (no gather copy) — the full-scan hot path.
+        With tombstones present the full scan gathers live rows instead.
         """
+        if positions is None and self._n_dead:
+            if self._live_scan is None:
+                self._live_scan = np.flatnonzero(self._alive[: self._size])
+            positions = self._live_scan
         if positions is None:
             matrix = self._matrix[: self._size]
             sq_norms = self._sq_norms[: self._size]
@@ -203,6 +290,19 @@ class VectorIndex(abc.ABC):
     def _on_add_batch(self, start: int, vectors: np.ndarray) -> None:
         """Hook for subclasses: ``vectors`` were stored at ``start``..."""
 
+    def _on_remove_batch(self, positions: np.ndarray) -> None:
+        """Hook for subclasses: ``positions`` were just tombstoned."""
+
+    def _rebuild(self) -> None:
+        """Hook for subclasses: compaction renumbered every stored position,
+        so position-keyed derived structures (buckets, inverted lists) must
+        be rebuilt from the compacted store."""
+
     @abc.abstractmethod
     def _candidates(self, query: np.ndarray, k: int) -> Optional[np.ndarray]:
-        """Positions of candidate vectors to score (``None`` = score all)."""
+        """Positions of candidate vectors to score (``None`` = score all).
+
+        Implementations must exclude tombstoned positions (``_live``) before
+        making any pool-size decisions such as the fall-back-to-exact check,
+        so that a store with tombstones behaves exactly like a freshly built
+        index over the live vectors."""

@@ -80,12 +80,15 @@ class IVFIndex(VectorIndex):
             self._lists.setdefault(int(cluster), []).append(start + offset)
 
     def _train(self) -> None:
-        matrix = self.vectors
+        # Train on live vectors only: a store with tombstones must quantize
+        # exactly like a fresh index built from the surviving vectors.
+        live_positions = np.flatnonzero(self._alive[: self._size])
+        matrix = self._matrix[live_positions]
         self._centroids = _kmeans(matrix, self._n_clusters, self._kmeans_iterations, self._seed)
         assignment = self._assign(matrix)
         self._lists = {}
-        for position, cluster in enumerate(assignment):
-            self._lists.setdefault(int(cluster), []).append(position)
+        for position, cluster in zip(live_positions.tolist(), assignment):
+            self._lists.setdefault(int(cluster), []).append(int(position))
         self._trained_size = len(self)
 
     def _needs_training(self) -> bool:
@@ -104,6 +107,25 @@ class IVFIndex(VectorIndex):
         candidates: List[int] = []
         for cluster in probe_order:
             candidates.extend(self._lists.get(int(cluster), ()))
-        if len(candidates) < k:
+        if not candidates:
             return None
-        return np.sort(np.asarray(candidates, dtype=np.int64))
+        positions = self._live(np.sort(np.asarray(candidates, dtype=np.int64)))
+        if positions.size < k:
+            return None
+        return positions
+
+    def _reset_quantizer(self) -> None:
+        self._centroids = None
+        self._lists = {}
+        self._trained_size = 0
+
+    def _on_remove_batch(self, positions: np.ndarray) -> None:
+        # Removals invalidate the quantizer so the next query retrains on
+        # the surviving corpus — this is what makes a mutated index answer
+        # bit-identically to a freshly built one (incremental *adds* keep
+        # the centroids; recall under stale centroids is covered by tests).
+        self._reset_quantizer()
+
+    def _rebuild(self) -> None:
+        """Compaction renumbered positions; retrain lazily on next query."""
+        self._reset_quantizer()

@@ -60,6 +60,17 @@ class LSHIndex(VectorIndex):
         for table in range(self._n_tables):
             signature = int(self._signatures(table, block)[0])
             candidates.update(self._tables[table].get(signature, ()))
-        if len(candidates) < k:
+        if not candidates:
             return None  # fall back to exact scan
-        return np.sort(np.fromiter(candidates, dtype=np.int64, count=len(candidates)))
+        positions = self._live(
+            np.sort(np.fromiter(candidates, dtype=np.int64, count=len(candidates)))
+        )
+        if positions.size < k:
+            return None  # fall back to exact scan
+        return positions
+
+    def _rebuild(self) -> None:
+        """Re-hash the compacted store (same hyperplanes, new positions)."""
+        self._tables = [defaultdict(list) for __ in range(self._n_tables)]
+        if self._size:
+            self._on_add_batch(0, self._matrix[: self._size])

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.ann import KNOWN_INDEX_KINDS
+
 
 @dataclass
 class AutoFormulaConfig:
@@ -43,9 +45,22 @@ class AutoFormulaConfig:
     def __post_init__(self) -> None:
         if self.top_k_sheets <= 0:
             raise ValueError("top_k_sheets must be positive")
+        if self.neighborhood_rows <= 0 or self.neighborhood_cols <= 0:
+            raise ValueError(
+                "neighborhood_rows and neighborhood_cols must be positive, got "
+                f"({self.neighborhood_rows}, {self.neighborhood_cols})"
+            )
         if self.granularity not in ("both", "coarse_only", "fine_only"):
             raise ValueError(f"unknown granularity {self.granularity!r}")
         if not 0.0 < self.acceptance_threshold <= 4.0:
             raise ValueError("acceptance_threshold must be in (0, 4]")
         if self.max_cached_target_sheets <= 0:
             raise ValueError("max_cached_target_sheets must be positive")
+        for label, kind in (
+            ("sheet_index_kind", self.sheet_index_kind),
+            ("formula_index_kind", self.formula_index_kind),
+        ):
+            if kind.strip().lower() not in KNOWN_INDEX_KINDS:
+                raise ValueError(
+                    f"unknown {label} {kind!r}; expected one of {sorted(KNOWN_INDEX_KINDS)}"
+                )

@@ -38,6 +38,14 @@ class FormulaPredictor(abc.ABC):
     #: Human-readable method name used in result tables.
     name: str = "predictor"
 
+    #: Whether the fitted corpus can be mutated in place via
+    #: ``add_workbooks`` / ``remove_workbook`` after ``fit``.  Methods that
+    #: leave this ``False`` are refit from scratch by the service layer
+    #: (``repro.service``) whenever a workspace's corpus changes; methods
+    #: that set it ``True`` guarantee that incremental mutation produces
+    #: predictions identical to a fresh ``fit`` on the equivalent corpus.
+    supports_incremental_corpus: bool = False
+
     @abc.abstractmethod
     def fit(self, reference_workbooks: Sequence[Workbook]) -> None:
         """Index / learn from the organization's existing workbooks."""

@@ -59,8 +59,11 @@ def _dedupe_coords(coords: np.ndarray) -> np.ndarray:
 class _ReferenceFormula:
     """A formula cell on an indexed reference sheet.
 
-    The formula-region embedding itself lives in the second-stage vector
-    index, at the position recorded in the owning sheet's entry of
+    ``sheet_position`` is the owning sheet's *stable id* (its slot in
+    ``AutoFormula._reference_sheets``, which is never renumbered — removed
+    sheets leave ``None`` tombstones).  The formula-region embedding itself
+    lives in the second-stage vector index, at the physical position
+    recorded in the owning sheet's entry of
     ``AutoFormula._formula_positions``.
     """
 
@@ -87,9 +90,23 @@ class AutoFormula(FormulaPredictor):
     single matrix product over a second-stage index, and S3 re-grounds the
     winning formula's parameters.  :meth:`predict_batch` runs S1 once and
     featurizes/encodes every target region of a sheet in one forward pass.
+
+    The indexed corpus is mutable after :meth:`fit`: :meth:`add_workbooks`
+    appends new reference sheets without touching the existing ones, and
+    :meth:`remove_workbook` tombstones a workbook's sheets out of both
+    vector indexes (see :meth:`repro.ann.VectorIndex.remove_batch`).
+    Predictions stay bit-identical to a fresh ``fit`` on the equivalent
+    corpus (adds in order; removed-then-re-added workbooks at the end),
+    with one deliberate exception: under ``"ivf"`` index kinds, adding to
+    an *already-queried* predictor keeps the trained quantizer and assigns
+    the new vectors incrementally (recall-tested, retrained on 2x growth)
+    rather than paying a k-means retrain per add — exact/LSH kinds, adds
+    before the first query, and every removal remain exactly
+    refit-equivalent.
     """
 
     name = "Auto-Formula"
+    supports_incremental_corpus = True
 
     def __init__(
         self,
@@ -98,11 +115,21 @@ class AutoFormula(FormulaPredictor):
     ) -> None:
         self.encoder = encoder
         self.config = config or AutoFormulaConfig()
-        self._reference_sheets: List[_ReferenceSheet] = []
+        #: Reference sheets by stable sheet id; removed sheets become None.
+        self._reference_sheets: List[Optional[_ReferenceSheet]] = []
         self._sheet_index = None
         self._formula_index = None
-        #: Per reference sheet: positions of its formulas in the formula index.
-        self._formula_positions: List[np.ndarray] = []
+        #: Per reference sheet (by stable id): physical positions of its
+        #: formulas in the formula index (None once the sheet is removed).
+        self._formula_positions: List[Optional[np.ndarray]] = []
+        #: Per reference sheet (by stable id): its physical position in the
+        #: sheet index (None once the sheet is removed).
+        self._sheet_positions: List[Optional[int]] = []
+        #: Physical store sizes of both indexes (tombstones included); kept
+        #: here so newly added vectors get their positions without peeking
+        #: at index internals, and rewritten on compaction remaps.
+        self._sheet_store_size = 0
+        self._formula_store_size = 0
         #: Bounded LRU of per-cell fine-embedding caches for target sheets.
         self._target_cache = SheetKeyedLRU(self.config.max_cached_target_sheets)
         #: Region embeddings of reference parameter cells, keyed by
@@ -286,6 +313,19 @@ class AutoFormula(FormulaPredictor):
             references.extend(formula_references(ast))
         return _reference_parameter_cells(references)
 
+    @staticmethod
+    def _flatten(
+        reference_workbooks: Sequence[Union[Workbook, Sheet]]
+    ) -> List[Tuple[str, Sheet]]:
+        """(workbook name, sheet) pairs in corpus order."""
+        sheets: List[Tuple[str, Sheet]] = []
+        for item in reference_workbooks:
+            if isinstance(item, Sheet):
+                sheets.append(("<sheet>", item))
+            else:
+                sheets.extend((item.name, sheet) for sheet in item)
+        return sheets
+
     def fit(self, reference_workbooks: Sequence[Union[Workbook, Sheet]]) -> None:
         """Offline phase: embed and index every reference sheet and formula."""
         self._reference_sheets = []
@@ -296,13 +336,6 @@ class AutoFormula(FormulaPredictor):
         # since the last fit; drop everything derived from them.
         self._reduced_padding = None
         self._fine_fast = _UNSET
-
-        sheets: List[Tuple[str, Sheet]] = []
-        for item in reference_workbooks:
-            if isinstance(item, Sheet):
-                sheets.append(("<sheet>", item))
-            else:
-                sheets.extend((item.name, sheet) for sheet in item)
 
         sheet_dimension = (
             self.encoder.fine_dimension
@@ -317,15 +350,24 @@ class AutoFormula(FormulaPredictor):
         self._sheet_index = create_index(self.config.sheet_index_kind, sheet_dimension)
         self._formula_index = create_index(self.config.formula_index_kind, region_dimension)
         self._formula_positions = []
+        self._sheet_positions = []
+        self._sheet_store_size = 0
+        self._formula_store_size = 0
+        self._index_sheets(self._flatten(reference_workbooks))
 
-        offset = 0
+    def _index_sheets(self, sheets: Sequence[Tuple[str, Sheet]]) -> None:
+        """Embed and index new reference sheets, appended after existing ones."""
+        if not sheets:
+            return
+        base_id = len(self._reference_sheets)
         sheet_windows: List[np.ndarray] = []
-        for position, (workbook_name, sheet) in enumerate(sheets):
+        for offset, (workbook_name, sheet) in enumerate(sheets):
+            sheet_id = base_id + offset
             formula_cells = sheet.formula_cells()
             centers = [address for address, __ in formula_cells]
             embeddings = self._region_vectors(sheet, centers, blank_center=True)
             formulas = [
-                _ReferenceFormula(position, address, cell.formula or "")
+                _ReferenceFormula(sheet_id, address, cell.formula or "")
                 for address, cell in formula_cells
             ]
             # Pre-embed every formula's parameter regions while this sheet's
@@ -336,32 +378,124 @@ class AutoFormula(FormulaPredictor):
                 _ReferenceSheet(workbook_name=workbook_name, sheet=sheet, formulas=formulas)
             )
             self._formula_index.add_batch(
-                [(position, local) for local in range(len(formulas))], embeddings
+                [(sheet_id, local) for local in range(len(formulas))], embeddings
             )
             self._formula_positions.append(
-                np.arange(offset, offset + len(formulas), dtype=np.int64)
+                np.arange(
+                    self._formula_store_size,
+                    self._formula_store_size + len(formulas),
+                    dtype=np.int64,
+                )
             )
-            offset += len(formulas)
+            self._formula_store_size += len(formulas)
             sheet_windows.append(self.encoder.featurizer.featurize_sheet(sheet))
 
-        if sheets:
-            windows = np.stack(sheet_windows)
-            model = (
-                self.encoder.fine_model
-                if self.config.granularity == "fine_only"
-                else self.encoder.coarse_model
-            )
-            self._sheet_index.add_batch(list(range(len(sheets))), model.forward(windows))
+        windows = np.stack(sheet_windows)
+        model = (
+            self.encoder.fine_model
+            if self.config.granularity == "fine_only"
+            else self.encoder.coarse_model
+        )
+        self._sheet_index.add_batch(
+            list(range(base_id, base_id + len(sheets))), model.forward(windows)
+        )
+        self._sheet_positions.extend(
+            range(self._sheet_store_size, self._sheet_store_size + len(sheets))
+        )
+        self._sheet_store_size += len(sheets)
+
+    # ------------------------------------------------------- corpus mutation
+
+    def add_workbooks(self, workbooks: Sequence[Union[Workbook, Sheet]]) -> int:
+        """Index additional workbooks without refitting the existing corpus.
+
+        Returns the number of sheets added.  Equivalent to a fresh
+        :meth:`fit` on the old corpus followed by the new workbooks, with
+        bit-identical predictions — except for the IVF stale-quantizer
+        case spelled out in the class docstring.
+        """
+        if self._sheet_index is None:
+            self.fit(list(workbooks))
+            return self.n_reference_sheets
+        pairs = self._flatten(workbooks)
+        self._index_sheets(pairs)
+        return len(pairs)
+
+    def add_workbook(self, workbook: Union[Workbook, Sheet]) -> int:
+        """Index one additional workbook (see :meth:`add_workbooks`)."""
+        return self.add_workbooks([workbook])
+
+    def remove_workbook(self, workbook_name: str) -> int:
+        """Remove every indexed sheet of ``workbook_name`` in place.
+
+        Sheets are tombstoned out of the sheet and formula indexes (no
+        refit); when an index compacts, the returned remap is applied to the
+        physical-position bookkeeping.  Returns the number of sheets removed
+        and raises ``KeyError`` if the workbook is not indexed.
+        """
+        removed_ids = [
+            sheet_id
+            for sheet_id, reference in enumerate(self._reference_sheets)
+            if reference is not None and reference.workbook_name == workbook_name
+        ]
+        if not removed_ids:
+            raise KeyError(f"workbook {workbook_name!r} is not indexed")
+
+        # Purge cached reference-region embeddings of the removed sheets:
+        # the cache is keyed by id(sheet), and dropping the sheet objects
+        # below would allow id reuse to serve stale vectors.
+        dead_sheet_object_ids = {
+            id(self._reference_sheets[sheet_id].sheet) for sheet_id in removed_ids
+        }
+        self._reference_region_cache = {
+            key: vector
+            for key, vector in self._reference_region_cache.items()
+            if key[0] not in dead_sheet_object_ids
+        }
+
+        dead_formula_positions = [
+            self._formula_positions[sheet_id]
+            for sheet_id in removed_ids
+            if self._formula_positions[sheet_id].size
+        ]
+        if dead_formula_positions:
+            remap = self._formula_index.remove_batch(np.concatenate(dead_formula_positions))
+            if remap is not None:
+                self._formula_positions = [
+                    remap[positions] if positions is not None else None
+                    for positions in self._formula_positions
+                ]
+                self._formula_store_size = len(self._formula_index)
+
+        sheet_remap = self._sheet_index.remove_batch(
+            [self._sheet_positions[sheet_id] for sheet_id in removed_ids]
+        )
+        if sheet_remap is not None:
+            self._sheet_positions = [
+                int(sheet_remap[position]) if position is not None else None
+                for position in self._sheet_positions
+            ]
+            self._sheet_store_size = len(self._sheet_index)
+
+        for sheet_id in removed_ids:
+            self._reference_sheets[sheet_id] = None
+            self._formula_positions[sheet_id] = None
+            self._sheet_positions[sheet_id] = None
+        return len(removed_ids)
 
     @property
     def n_reference_sheets(self) -> int:
-        """Number of indexed reference sheets."""
-        return len(self._reference_sheets)
+        """Number of indexed (live) reference sheets."""
+        return sum(1 for reference in self._reference_sheets if reference is not None)
 
     @property
     def n_reference_formulas(self) -> int:
-        """Number of indexed reference formulas."""
-        return sum(len(reference.formulas) for reference in self._reference_sheets)
+        """Number of indexed (live) reference formulas."""
+        return sum(
+            len(reference.formulas)
+            for reference in self._reference_sheets
+            if reference is not None
+        )
 
     # ----------------------------------------------------------------- online
 

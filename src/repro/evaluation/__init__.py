@@ -24,7 +24,7 @@ from repro.evaluation.runner import (
     overall_average,
     CorpusEvaluation,
 )
-from repro.evaluation.latency import LatencyReport, measure_latency
+from repro.evaluation.latency import LatencyRecorder, LatencyReport, measure_latency
 
 __all__ = [
     "CaseResult",
@@ -42,6 +42,7 @@ __all__ = [
     "prepare_corpus_evaluation",
     "overall_average",
     "CorpusEvaluation",
+    "LatencyRecorder",
     "LatencyReport",
     "measure_latency",
 ]

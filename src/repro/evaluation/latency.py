@@ -3,12 +3,83 @@
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Deque, Dict, Optional, Sequence
 
 from repro.core.interface import FormulaPredictor
 from repro.corpus.testcases import TestCase
 from repro.sheet.workbook import Workbook
+
+
+class LatencyRecorder:
+    """Accumulates per-request online latencies for serving-path reporting.
+
+    The service layer records one sample per recommendation request (batch
+    requests record the amortized per-request share of the batch's wall
+    clock) and reads the aggregate back through :meth:`summary`, which is
+    the serving-side counterpart of the per-workload
+    :class:`LatencyReport` used by the Figure 8 scalability experiment.
+
+    Memory is bounded for long-lived workspaces: ``count``, ``total`` /
+    ``mean`` and ``max`` are maintained as running aggregates over *every*
+    recorded sample, while percentiles are computed over a sliding window
+    of the most recent ``window_size`` samples.
+    """
+
+    def __init__(self, window_size: int = 8192) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        self._window: Deque[float] = deque(maxlen=window_size)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def __len__(self) -> int:
+        """Number of samples ever recorded (not just the window)."""
+        return self._count
+
+    def record(self, seconds: float) -> None:
+        """Record one request's wall-clock latency."""
+        if seconds < 0:
+            raise ValueError("latency must be non-negative")
+        seconds = float(seconds)
+        self._window.append(seconds)
+        self._count += 1
+        self._total += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self._total
+
+    @property
+    def mean_seconds(self) -> float:
+        if not self._count:
+            return 0.0
+        return self._total / self._count
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the recent window, ``fraction`` in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = max(int(-(-fraction * len(ordered) // 1)), 1)  # ceil, >= 1
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """Count, total, mean, p50/p95 (recent window) and max."""
+        return {
+            "count": float(self._count),
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.percentile(0.5),
+            "p95_seconds": self.percentile(0.95),
+            "max_seconds": self._max,
+        }
 
 
 @dataclass(frozen=True)

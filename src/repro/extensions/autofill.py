@@ -54,6 +54,11 @@ class ValueAutoFill:
                 self._index.add(len(self._sheets), self.encoder.embed_sheet(sheet))
                 self._sheets.append((source, sheet))
 
+    @property
+    def n_reference_sheets(self) -> int:
+        """Number of indexed reference sheets."""
+        return len(self._sheets)
+
     def suggest(self, target_sheet: Sheet, target_cell: CellAddress) -> Optional[AutoFillSuggestion]:
         """Suggest a value for ``target_cell`` (``None`` when unsure)."""
         if self._index is None or len(self._index) == 0:

@@ -67,6 +67,11 @@ class FormulaErrorDetector:
                 self._index.add(len(self._sheets), self.encoder.embed_sheet(sheet))
                 self._sheets.append((source, sheet))
 
+    @property
+    def n_reference_sheets(self) -> int:
+        """Number of indexed reference sheets."""
+        return len(self._sheets)
+
     # ----------------------------------------------------------------- online
 
     def _template(self, formula: str) -> Optional[str]:

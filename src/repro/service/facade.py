@@ -1,0 +1,81 @@
+"""The :class:`FormulaService` facade: named workspaces, one per tenant."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.config import AutoFormulaConfig
+from repro.core.interface import FormulaPredictor
+from repro.core.pipeline import AutoFormula
+from repro.models.encoder import SheetEncoder
+from repro.service.workspace import Workspace
+from repro.sheet.workbook import Workbook
+
+
+class FormulaService:
+    """Entry point of the serving layer: a registry of named workspaces.
+
+    One service instance holds the trained :class:`SheetEncoder` (shared
+    read-only by every workspace) and manages one :class:`Workspace` per
+    organization/tenant.  Workspaces default to an :class:`AutoFormula`
+    predictor built from the service's encoder and config, but any
+    :class:`FormulaPredictor` (a baseline, an ablation) can be supplied
+    explicitly, so the whole method zoo is servable through one API.
+    """
+
+    def __init__(
+        self,
+        encoder: Optional[SheetEncoder] = None,
+        config: Optional[AutoFormulaConfig] = None,
+    ) -> None:
+        self._encoder = encoder
+        self._config = config
+        self._workspaces: Dict[str, Workspace] = {}
+
+    # ------------------------------------------------------------- workspaces
+
+    def create_workspace(
+        self,
+        name: str,
+        predictor: Optional[FormulaPredictor] = None,
+        workbooks: Sequence[Workbook] = (),
+    ) -> Workspace:
+        """Create (and register) a workspace, optionally pre-loading a corpus."""
+        if name in self._workspaces:
+            raise ValueError(f"workspace {name!r} already exists")
+        if predictor is None:
+            if self._encoder is None:
+                raise ValueError(
+                    "a predictor is required: this service was built without "
+                    "an encoder, so it cannot construct the default AutoFormula"
+                )
+            predictor = AutoFormula(self._encoder, self._config or AutoFormulaConfig())
+        workspace = Workspace(name, predictor, encoder=self._encoder)
+        workspace.add_workbooks(workbooks)
+        self._workspaces[name] = workspace
+        return workspace
+
+    def workspace(self, name: str) -> Workspace:
+        """The workspace called ``name`` (raises ``KeyError`` if missing)."""
+        return self._workspaces[name]
+
+    def drop_workspace(self, name: str) -> Workspace:
+        """Unregister and return the workspace called ``name``."""
+        workspace = self._workspaces.pop(name)
+        return workspace
+
+    def workspace_names(self) -> List[str]:
+        """Registered workspace names, in creation order."""
+        return list(self._workspaces)
+
+    def __getitem__(self, name: str) -> Workspace:
+        return self.workspace(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._workspaces
+
+    def __iter__(self) -> Iterator[Workspace]:
+        return iter(self._workspaces.values())
+
+    def __len__(self) -> int:
+        return len(self._workspaces)

@@ -1,0 +1,73 @@
+"""Typed, immutable request/response objects of the serving API.
+
+The service layer never hands back a bare :class:`~repro.core.Prediction`
+(or ``None``): every request is answered by a frozen
+:class:`RecommendationResponse` that carries the recommendation itself,
+its provenance (which reference formula it was adapted from), the
+per-request serving latency, and — when the system abstains — a typed
+:class:`AbstainReason` instead of a silent ``None``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.sheet.addressing import CellAddress
+from repro.sheet.sheet import Sheet
+
+
+class AbstainReason(str, enum.Enum):
+    """Why a request produced no recommendation."""
+
+    #: The workspace has no indexed workbooks at all.
+    EMPTY_CORPUS = "empty_corpus"
+    #: The predictor found no candidate within its acceptance threshold
+    #: (or could not re-ground the winning formula's parameters).
+    NO_CONFIDENT_MATCH = "no_confident_match"
+
+
+@dataclass(frozen=True)
+class RecommendationRequest:
+    """One formula recommendation to compute.
+
+    ``cell`` accepts either a :class:`CellAddress` or an A1-style string
+    (``"D41"``), which is normalized at construction.  ``request_id`` is an
+    optional caller-side correlation token echoed back on the response.
+    """
+
+    sheet: Sheet
+    cell: Union[CellAddress, str]
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.cell, str):
+            object.__setattr__(self, "cell", CellAddress.from_a1(self.cell))
+
+
+@dataclass(frozen=True)
+class RecommendationResponse:
+    """The outcome of serving one :class:`RecommendationRequest`.
+
+    ``formula`` is ``None`` exactly when the system abstained, in which
+    case ``abstain_reason`` says why.  ``provenance`` carries the adapted
+    reference formula's origin (workbook, sheet, cell, raw formula and S2
+    distance) for analysis and debugging.  ``latency_seconds`` is the
+    wall-clock serving time attributed to this request; requests served
+    through a batch report their amortized share of the batch.
+    """
+
+    request: RecommendationRequest
+    workspace: str
+    method: str
+    formula: Optional[str]
+    confidence: float
+    abstain_reason: Optional[AbstainReason] = None
+    provenance: Dict[str, object] = field(default_factory=dict)
+    latency_seconds: float = 0.0
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the system produced a recommendation."""
+        return self.formula is not None

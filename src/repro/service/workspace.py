@@ -1,0 +1,295 @@
+"""A :class:`Workspace`: one organization's mutable, served corpus."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.interface import FormulaPredictor
+from repro.evaluation.latency import LatencyRecorder
+from repro.evaluation.runner import EvaluationRun, run_method_on_cases
+from repro.extensions.autofill import AutoFillSuggestion, ValueAutoFill
+from repro.extensions.error_detection import FormulaAnomaly, FormulaErrorDetector
+from repro.models.encoder import SheetEncoder
+from repro.service.types import (
+    AbstainReason,
+    RecommendationRequest,
+    RecommendationResponse,
+)
+from repro.sheet.addressing import CellAddress
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+
+class Workspace:
+    """One tenant's indexed corpus behind the typed serving API.
+
+    A workspace owns a :class:`FormulaPredictor` and the set of workbooks
+    it is fitted on, keyed by workbook name.  Corpus mutation goes through
+    :meth:`add_workbooks` / :meth:`remove_workbook`: predictors that
+    declare ``supports_incremental_corpus`` (Auto-Formula) are mutated in
+    place, all others are refit on the updated corpus — either way the
+    workspace stays consistent with its workbook set, and predictions are
+    identical to a fresh fit on the equivalent corpus (for ``"ivf"`` index
+    kinds, adds into an already-queried workspace are the documented
+    approximate exception — see :class:`~repro.core.AutoFormula`).
+
+    Serving goes through :meth:`recommend` / :meth:`serve_batch`, which
+    answer with frozen :class:`RecommendationResponse` objects and record
+    per-request latency on :attr:`latency`.  The evaluation harness and the
+    paper's extension applications (value auto-fill, formula error
+    detection) are reachable as workspace methods so one corpus handle
+    drives every workload.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        predictor: FormulaPredictor,
+        encoder: Optional[SheetEncoder] = None,
+    ) -> None:
+        self.name = name
+        self._predictor = predictor
+        self._encoder = encoder
+        self._workbooks: Dict[str, Workbook] = {}
+        self._fitted = False
+        self._incremental = bool(getattr(predictor, "supports_incremental_corpus", False))
+        #: Per-request serving latencies (amortized for batched requests).
+        self.latency = LatencyRecorder()
+        self._corpus_version = 0
+        self._autofill: Optional[ValueAutoFill] = None
+        self._autofill_version = -1
+        self._detector: Optional[FormulaErrorDetector] = None
+        self._detector_version = -1
+
+    # ----------------------------------------------------------------- corpus
+
+    @property
+    def predictor(self) -> FormulaPredictor:
+        """The wrapped prediction method."""
+        return self._predictor
+
+    @property
+    def workbook_names(self) -> List[str]:
+        """Names of the indexed workbooks, in insertion order."""
+        return list(self._workbooks)
+
+    def workbooks(self) -> List[Workbook]:
+        """The indexed workbooks, in insertion order (re-adds go last)."""
+        return list(self._workbooks.values())
+
+    def __len__(self) -> int:
+        return len(self._workbooks)
+
+    def __contains__(self, workbook_name: str) -> bool:
+        return workbook_name in self._workbooks
+
+    def add_workbooks(self, workbooks: Iterable[Workbook]) -> None:
+        """Index additional workbooks (incrementally when the predictor
+        supports it, otherwise via a refit on the whole corpus).
+
+        The workbooks are registered only after the predictor mutation
+        succeeds, so an embedding/fit failure leaves the workspace's
+        workbook set consistent with what the predictor actually indexed.
+        """
+        workbooks = list(workbooks)
+        if not workbooks:
+            return
+        seen = set(self._workbooks)
+        for workbook in workbooks:
+            if not isinstance(workbook, Workbook):
+                # Bare sheets would be indexed under the predictor-side label
+                # "<sheet>" but registered here under the sheet's own name,
+                # making them irremovable; the workspace corpus is
+                # workbook-keyed, so wrap sheets in a Workbook first.
+                raise TypeError(
+                    f"workspaces index Workbook objects, got {type(workbook).__name__}; "
+                    "wrap bare sheets in a Workbook"
+                )
+            if workbook.name in seen:
+                raise ValueError(f"workbook {workbook.name!r} is already indexed")
+            seen.add(workbook.name)
+        if self._incremental and self._fitted:
+            self._predictor.add_workbooks(workbooks)
+        else:
+            self._predictor.fit(self.workbooks() + workbooks)
+            self._fitted = True
+        for workbook in workbooks:
+            self._workbooks[workbook.name] = workbook
+        self._corpus_version += 1
+
+    def add_workbook(self, workbook: Workbook) -> None:
+        """Index one additional workbook (see :meth:`add_workbooks`)."""
+        self.add_workbooks([workbook])
+
+    def remove_workbook(self, workbook_name: str) -> Workbook:
+        """Drop a workbook from the corpus and return it.
+
+        Raises ``KeyError`` if the workbook is not indexed.  Incremental
+        predictors tombstone the workbook's sheets out of their indexes;
+        others are refit on the remaining corpus.  As with
+        :meth:`add_workbooks`, the workbook stays registered if the
+        predictor mutation fails.
+        """
+        if workbook_name not in self._workbooks:
+            raise KeyError(workbook_name)
+        if self._incremental and self._fitted:
+            # A registered workbook with zero sheets never reached the
+            # predictor's indexes, so there is nothing to remove there.
+            if len(self._workbooks[workbook_name]):
+                self._predictor.remove_workbook(workbook_name)
+        else:
+            self._predictor.fit(
+                [
+                    workbook
+                    for name, workbook in self._workbooks.items()
+                    if name != workbook_name
+                ]
+            )
+            self._fitted = True
+        workbook = self._workbooks.pop(workbook_name)
+        self._corpus_version += 1
+        return workbook
+
+    def _refit(self) -> None:
+        self._predictor.fit(self.workbooks())
+        self._fitted = True
+
+    def _ensure_fitted(self) -> None:
+        if not self._fitted:
+            self._refit()
+
+    # ---------------------------------------------------------------- serving
+
+    def recommend(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Serve one request (see :meth:`serve_batch`)."""
+        return self.serve_batch([request])[0]
+
+    def serve_batch(
+        self, requests: Sequence[RecommendationRequest]
+    ) -> List[RecommendationResponse]:
+        """Serve a mixed stream of requests, in request order.
+
+        Requests are grouped by target sheet and each group is dispatched
+        through the predictor's vectorized :meth:`predict_batch`, so a batch
+        returns exactly what sequential single-request serving would while
+        sharing per-sheet featurization and retrieval.  Each response's
+        ``latency_seconds`` is its amortized share of its group's wall
+        clock, recorded on :attr:`latency`.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if not self._workbooks:
+            # Empty-corpus abstains never reach the predictor; recording
+            # their ~0 wall clock would skew the latency distribution, so
+            # they are answered without a latency sample.
+            return [self._abstain(request, AbstainReason.EMPTY_CORPUS) for request in requests]
+        self._ensure_fitted()
+
+        # Group request positions by target-sheet identity, preserving the
+        # first-seen order of sheets and the request order within a group.
+        groups: Dict[int, List[int]] = {}
+        for position, request in enumerate(requests):
+            groups.setdefault(id(request.sheet), []).append(position)
+
+        responses: List[Optional[RecommendationResponse]] = [None] * len(requests)
+        for positions in groups.values():
+            sheet = requests[positions[0]].sheet
+            cells = [requests[position].cell for position in positions]
+            start = time.perf_counter()
+            predictions = self._predictor.predict_batch(sheet, cells)
+            per_request = (time.perf_counter() - start) / len(positions)
+            if len(predictions) != len(positions):
+                raise RuntimeError(
+                    f"{self._predictor.name}.predict_batch violated its contract: "
+                    f"{len(predictions)} predictions for {len(positions)} cells"
+                )
+            for position, prediction in zip(positions, predictions):
+                self.latency.record(per_request)
+                request = requests[position]
+                if prediction is None:
+                    responses[position] = self._abstain(
+                        request, AbstainReason.NO_CONFIDENT_MATCH, per_request
+                    )
+                else:
+                    responses[position] = RecommendationResponse(
+                        request=request,
+                        workspace=self.name,
+                        method=self._predictor.name,
+                        formula=prediction.formula,
+                        confidence=prediction.confidence,
+                        provenance=dict(prediction.details),
+                        latency_seconds=per_request,
+                    )
+        # Every slot is filled: the groups partition range(len(requests))
+        # and each group produced exactly one response per position.
+        return responses  # type: ignore[return-value]
+
+    def _abstain(
+        self,
+        request: RecommendationRequest,
+        reason: AbstainReason,
+        latency_seconds: float = 0.0,
+    ) -> RecommendationResponse:
+        return RecommendationResponse(
+            request=request,
+            workspace=self.name,
+            method=self._predictor.name,
+            formula=None,
+            confidence=0.0,
+            abstain_reason=reason,
+            latency_seconds=latency_seconds,
+        )
+
+    # --------------------------------------------------------------- adapters
+
+    def evaluate(self, cases: Sequence, corpus_name: str = "") -> EvaluationRun:
+        """Run the evaluation harness on this workspace's fitted predictor."""
+        self._ensure_fitted()
+        return run_method_on_cases(
+            self._predictor,
+            self.workbooks(),
+            cases,
+            corpus_name=corpus_name or self.name,
+            fit=False,
+        )
+
+    def _require_encoder(self) -> SheetEncoder:
+        if self._encoder is None:
+            raise RuntimeError(
+                "this workspace has no encoder; extensions (auto-fill, error "
+                "detection) need one — create the workspace through a "
+                "FormulaService constructed with an encoder"
+            )
+        return self._encoder
+
+    def autofill(self) -> ValueAutoFill:
+        """The value auto-fill extension, fitted on the current corpus."""
+        encoder = self._require_encoder()
+        if self._autofill is None:
+            self._autofill = ValueAutoFill(encoder)
+        if self._autofill_version != self._corpus_version:
+            self._autofill.fit(self.workbooks())
+            self._autofill_version = self._corpus_version
+        return self._autofill
+
+    def suggest_value(
+        self, sheet: Sheet, cell: CellAddress
+    ) -> Optional[AutoFillSuggestion]:
+        """Suggest a *value* for an empty cell (content auto-filling)."""
+        return self.autofill().suggest(sheet, cell)
+
+    def error_detector(self) -> FormulaErrorDetector:
+        """The formula error detector, fitted on the current corpus."""
+        encoder = self._require_encoder()
+        if self._detector is None:
+            self._detector = FormulaErrorDetector(encoder)
+        if self._detector_version != self._corpus_version:
+            self._detector.fit(self.workbooks())
+            self._detector_version = self._corpus_version
+        return self._detector
+
+    def audit_sheet(self, sheet: Sheet) -> List[FormulaAnomaly]:
+        """Audit a sheet for formulas that disagree with similar sheets."""
+        return self.error_detector().audit(sheet)

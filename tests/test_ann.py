@@ -305,11 +305,130 @@ class TestBatchedSearch:
             index.add_batch(["a", "b"], np.ones((3, 4), dtype=np.float32))
 
 
+class TestRemoveBatch:
+    """Tombstone-based removal: excluded from every search path, compacted
+    once the dead fraction grows, bit-identical to a freshly built index."""
+
+    @pytest.fixture(params=["exact", "lsh", "ivf"])
+    def kind(self, request):
+        return request.param
+
+    def test_removed_vectors_never_returned(self, kind):
+        vectors = _random_vectors(40, 16, seed=0)
+        index = create_index(kind, 16)
+        index.add_batch(list(range(40)), vectors)
+        index.search(vectors[0], k=1)  # trains IVF, if applicable
+        index.remove_batch([3, 7])
+        assert len(index) == 38
+        assert index.n_tombstones == 2
+        for removed in (3, 7):
+            hits = index.search(vectors[removed], k=40)
+            assert removed not in {hit.key for hit in hits}
+
+    def test_matches_fresh_index_over_survivors(self, kind):
+        """After removal (and the IVF retrain it forces), results must be
+        identical to an index freshly built from the surviving vectors."""
+        vectors = _random_vectors(60, 16, seed=1)
+        index = create_index(kind, 16)
+        index.add_batch(list(range(60)), vectors)
+        index.search(vectors[0], k=1)
+        index.remove_batch(list(range(0, 60, 2)))  # evens out, 50% (no compaction)
+        assert index.n_tombstones == 30
+
+        fresh = create_index(kind, 16)
+        fresh.add_batch(list(range(1, 60, 2)), vectors[1::2])
+        for query in vectors[:10]:
+            got = [(hit.key, round(hit.distance, 6)) for hit in index.search(query, k=5)]
+            expected = [
+                (hit.key, round(hit.distance, 6)) for hit in fresh.search(query, k=5)
+            ]
+            assert got == expected
+
+    def test_compaction_returns_remap(self, kind):
+        vectors = _random_vectors(30, 8, seed=2)
+        index = create_index(kind, 8)
+        index.add_batch(list(range(30)), vectors)
+        removed = list(range(20))
+        remap = index.remove_batch(removed)  # 20/30 > 0.5 -> compaction
+        assert remap is not None
+        assert index.n_tombstones == 0
+        assert len(index) == 10
+        assert np.all(remap[:20] == -1)
+        assert np.array_equal(remap[20:], np.arange(10))
+        # searches keep working against the renumbered store
+        for position in range(20, 30):
+            assert index.search(vectors[position], k=1)[0].key == position
+        # and the remapped positions address the same vectors
+        hits = index.search_batch(
+            vectors[25:26], k=1, positions=remap[np.arange(20, 30)]
+        )
+        assert hits[0][0].key == 25
+
+    def test_add_after_remove(self, kind):
+        vectors = _random_vectors(50, 8, seed=3)
+        index = create_index(kind, 8)
+        index.add_batch(list(range(40)), vectors[:40])
+        index.remove_batch([0, 1, 2])
+        index.add_batch(list(range(40, 50)), vectors[40:])
+        assert len(index) == 47
+        for position in range(40, 50):
+            assert index.search(vectors[position], k=1)[0].key == position
+
+    def test_positions_pool_excludes_tombstones(self, kind):
+        vectors = _random_vectors(20, 8, seed=4)
+        index = create_index(kind, 8)
+        index.add_batch(list(range(20)), vectors)
+        index.remove_batch([5])
+        hits = index.search_batch(
+            vectors[5:6], k=3, positions=np.array([4, 5, 6], dtype=np.int64)
+        )
+        assert {hit.key for hit in hits[0]} == {4, 6}
+
+    def test_invalid_removals_rejected(self, kind):
+        vectors = _random_vectors(10, 8, seed=5)
+        index = create_index(kind, 8)
+        index.add_batch(list(range(10)), vectors)
+        with pytest.raises(IndexError):
+            index.remove_batch([10])
+        with pytest.raises(ValueError):
+            index.remove_batch([2, 2])
+        index.remove_batch([2])
+        with pytest.raises(ValueError):
+            index.remove_batch([2])
+        assert index.remove_batch([]) is None
+
+    def test_remove_everything(self, kind):
+        vectors = _random_vectors(10, 8, seed=6)
+        index = create_index(kind, 8)
+        index.add_batch(list(range(10)), vectors)
+        index.remove_batch(list(range(10)))
+        assert len(index) == 0
+        assert index.search(vectors[0], k=3) == []
+
+    def test_ivf_retrains_on_surviving_corpus_after_removal(self):
+        dim = 8
+        index = IVFIndex(dim, n_clusters=4, n_probe=2)
+        vectors = _random_vectors(40, dim, seed=7)
+        index.add_batch(list(range(40)), vectors)
+        index.search(vectors[0], k=1)  # train
+        assert index._centroids is not None
+        index.remove_batch([0])
+        assert index._centroids is None  # quantizer invalidated
+        assert index.search(vectors[1], k=1)[0].key == 1  # retrains lazily
+
+
 class TestFactory:
     def test_known_kinds(self):
         assert isinstance(create_index("exact", 4), ExactIndex)
         assert isinstance(create_index("lsh", 4), LSHIndex)
         assert isinstance(create_index("ivf", 4), IVFIndex)
+
+    def test_known_kinds_exported(self):
+        from repro.ann import KNOWN_INDEX_KINDS
+
+        assert {"exact", "lsh", "ivf"} <= KNOWN_INDEX_KINDS
+        for kind in KNOWN_INDEX_KINDS:
+            assert create_index(kind, 4) is not None
 
     def test_unknown_kind(self):
         with pytest.raises(ValueError):

@@ -40,6 +40,58 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             AutoFormulaConfig(acceptance_threshold=0.0)
 
+    @pytest.mark.parametrize("field", ["sheet_index_kind", "formula_index_kind"])
+    def test_unknown_index_kind_rejected_at_construction(self, field):
+        with pytest.raises(ValueError, match="index_kind"):
+            AutoFormulaConfig(**{field: "lshh"})
+
+    def test_index_kind_spellings_normalized(self):
+        # create_index is case-insensitive and whitespace-tolerant, so the
+        # config validation must accept the same spellings.
+        AutoFormulaConfig(sheet_index_kind=" LSH ", formula_index_kind="Flat")
+
+    @pytest.mark.parametrize(
+        "rows, cols", [(0, 2), (-1, 2), (8, 0), (8, -3)]
+    )
+    def test_non_positive_neighborhood_rejected(self, rows, cols):
+        with pytest.raises(ValueError, match="neighborhood"):
+            AutoFormulaConfig(neighborhood_rows=rows, neighborhood_cols=cols)
+
+
+class TestCorpusMutation:
+    """add_workbooks / remove_workbook keep the predictor's bookkeeping
+    consistent (prediction parity itself is asserted in test_service.py)."""
+
+    def test_add_then_remove_restores_counts(self, trained_encoder, pge_workload):
+        __, reference = pge_workload
+        system = AutoFormula(trained_encoder, AutoFormulaConfig())
+        system.fit(reference[:3])
+        sheets_before = system.n_reference_sheets
+        formulas_before = system.n_reference_formulas
+
+        system.add_workbook(reference[3])
+        assert system.n_reference_sheets == sheets_before + len(reference[3])
+        removed = system.remove_workbook(reference[3].name)
+        assert removed == len(reference[3])
+        assert system.n_reference_sheets == sheets_before
+        assert system.n_reference_formulas == formulas_before
+
+    def test_add_workbooks_on_unfitted_predictor_fits(self, trained_encoder, pge_workload):
+        __, reference = pge_workload
+        system = AutoFormula(trained_encoder, AutoFormulaConfig())
+        system.add_workbooks(reference[:2])
+        assert system.n_reference_sheets == sum(len(workbook) for workbook in reference[:2])
+
+    def test_remove_unknown_workbook_raises(self, trained_encoder, pge_workload):
+        __, reference = pge_workload
+        system = AutoFormula(trained_encoder, AutoFormulaConfig())
+        system.fit(reference[:2])
+        with pytest.raises(KeyError):
+            system.remove_workbook("no-such-workbook")
+
+    def test_supports_incremental_corpus_flag(self, trained_encoder):
+        assert AutoFormula(trained_encoder).supports_incremental_corpus
+
 
 class TestOfflinePhase:
     def test_fit_indexes_sheets_and_formulas(self, fitted_system, pge_workload):

@@ -8,6 +8,7 @@ from repro.core.interface import FormulaPredictor, Prediction
 from repro.corpus import sample_test_cases, split_corpus
 from repro.corpus.testcases import TestCase
 from repro.evaluation import (
+    LatencyRecorder,
     bucket_metrics,
     bucketize_results,
     evaluate_predictions,
@@ -235,3 +236,52 @@ class TestLatency:
         )
         assert math.isinf(report.online_seconds_total)
         assert report.n_test_cases == 0
+
+
+class TestLatencyRecorder:
+    def test_record_and_aggregate(self):
+        recorder = LatencyRecorder()
+        for seconds in (0.004, 0.002, 0.001, 0.003):
+            recorder.record(seconds)
+        assert len(recorder) == 4
+        assert recorder.total_seconds == pytest.approx(0.010)
+        assert recorder.mean_seconds == pytest.approx(0.0025)
+        assert recorder.percentile(0.5) == pytest.approx(0.002)
+        assert recorder.percentile(1.0) == pytest.approx(0.004)
+        assert recorder.percentile(0.0) == pytest.approx(0.001)
+
+    def test_summary(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        summary = recorder.summary()
+        assert summary["count"] == 1.0
+        assert summary["p50_seconds"] == summary["p95_seconds"] == 0.5
+        assert summary["max_seconds"] == 0.5
+
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert len(recorder) == 0
+        assert recorder.mean_seconds == 0.0
+        assert recorder.percentile(0.95) == 0.0
+        assert recorder.summary()["count"] == 0.0
+
+    def test_invalid_inputs(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(-0.1)
+        with pytest.raises(ValueError):
+            recorder.percentile(1.5)
+        with pytest.raises(ValueError):
+            LatencyRecorder(window_size=0)
+
+    def test_memory_bounded_window(self):
+        recorder = LatencyRecorder(window_size=4)
+        for seconds in (9.0, 9.0, 9.0, 1.0, 2.0, 3.0, 4.0):
+            recorder.record(seconds)
+        # Running aggregates cover every sample ...
+        assert len(recorder) == 7
+        assert recorder.total_seconds == pytest.approx(37.0)
+        assert recorder.summary()["max_seconds"] == 9.0
+        # ... while percentiles see only the most recent window_size.
+        assert recorder.percentile(1.0) == 4.0
+        assert recorder.percentile(0.5) == 2.0

@@ -1,0 +1,366 @@
+"""Tests for the service layer: workspaces, mutation parity, typed serving."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    AbstainReason,
+    AutoFormula,
+    AutoFormulaConfig,
+    FormulaService,
+    RecommendationRequest,
+    RecommendationResponse,
+    Workspace,
+)
+from repro.baselines import WeakSupervisionBaseline
+from repro.corpus import sample_test_cases, split_corpus
+from repro.evaluation import run_method_on_cases
+from repro.sheet import CellAddress
+
+
+@pytest.fixture(scope="module")
+def workload(pge_corpus):
+    """A small serving workload: reference workbooks plus test cases."""
+    test_workbooks, reference_workbooks = split_corpus(pge_corpus, 0.15, "timestamp")
+    cases = sample_test_cases("PGE", test_workbooks, max_per_sheet=2, seed=0)
+    return reference_workbooks[:6], cases[:10]
+
+
+def _config(kind: str) -> AutoFormulaConfig:
+    return AutoFormulaConfig(sheet_index_kind=kind, formula_index_kind=kind)
+
+
+def _assert_matches_prediction(response, prediction):
+    """A served response must carry exactly the predictor's output."""
+    if prediction is None:
+        assert response.formula is None
+        assert not response.accepted
+        assert response.abstain_reason == AbstainReason.NO_CONFIDENT_MATCH
+    else:
+        assert response.accepted
+        assert response.abstain_reason is None
+        assert response.formula == prediction.formula
+        assert response.confidence == prediction.confidence
+        assert response.provenance == prediction.details
+
+
+@pytest.mark.parametrize("kind", ["exact", "lsh", "ivf"])
+class TestIncrementalParity:
+    """Mutated workspaces must predict bit-identically to a fresh fit."""
+
+    def test_workspace_built_by_adds_matches_fresh_fit(
+        self, trained_encoder, workload, kind
+    ):
+        references, cases = workload
+        fresh = AutoFormula(trained_encoder, _config(kind))
+        fresh.fit(references)
+
+        service = FormulaService(trained_encoder, _config(kind))
+        workspace = service.create_workspace("incremental")
+        for workbook in references:
+            workspace.add_workbook(workbook)
+        assert workspace.predictor.n_reference_sheets == fresh.n_reference_sheets
+        assert workspace.predictor.n_reference_formulas == fresh.n_reference_formulas
+
+        for case in cases:
+            expected = fresh.predict(case.target_sheet, case.target_cell)
+            response = workspace.recommend(
+                RecommendationRequest(case.target_sheet, case.target_cell)
+            )
+            _assert_matches_prediction(response, expected)
+
+    def test_remove_then_re_add_matches_fresh_fit(self, trained_encoder, workload, kind):
+        references, cases = workload
+        service = FormulaService(trained_encoder, _config(kind))
+        workspace = service.create_workspace("churn", workbooks=references)
+        # Warm the online path so lazily-trained index state exists before
+        # the mutation, the hardest case for parity.
+        workspace.serve_batch(
+            [RecommendationRequest(case.target_sheet, case.target_cell) for case in cases]
+        )
+
+        churned = workspace.remove_workbook(references[0].name)
+        workspace.add_workbook(churned)
+
+        # The equivalent corpus: re-added workbooks go to the end.
+        fresh = AutoFormula(trained_encoder, _config(kind))
+        fresh.fit(references[1:] + [references[0]])
+
+        for case in cases:
+            expected = fresh.predict(case.target_sheet, case.target_cell)
+            response = workspace.recommend(
+                RecommendationRequest(case.target_sheet, case.target_cell)
+            )
+            _assert_matches_prediction(response, expected)
+
+    def test_removal_until_empty_then_rebuild(self, trained_encoder, workload, kind):
+        references, cases = workload
+        service = FormulaService(trained_encoder, _config(kind))
+        workspace = service.create_workspace("drain", workbooks=references)
+        for workbook in list(references):
+            workspace.remove_workbook(workbook.name)
+        assert len(workspace) == 0
+        assert workspace.predictor.n_reference_sheets == 0
+        response = workspace.recommend(
+            RecommendationRequest(cases[0].target_sheet, cases[0].target_cell)
+        )
+        assert response.abstain_reason == AbstainReason.EMPTY_CORPUS
+
+        workspace.add_workbooks(references)
+        fresh = AutoFormula(trained_encoder, _config(kind))
+        fresh.fit(references)
+        for case in cases[:4]:
+            expected = fresh.predict(case.target_sheet, case.target_cell)
+            response = workspace.recommend(
+                RecommendationRequest(case.target_sheet, case.target_cell)
+            )
+            _assert_matches_prediction(response, expected)
+
+
+class TestServeBatch:
+    def test_batch_matches_sequential_serving(self, trained_encoder, workload):
+        references, cases = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("batch", workbooks=references)
+
+        # Interleave sheets so grouping and reassembly are both exercised.
+        interleaved = sorted(range(len(cases)), key=lambda position: position % 3)
+        requests = [
+            RecommendationRequest(
+                cases[position].target_sheet,
+                cases[position].target_cell,
+                request_id=str(position),
+            )
+            for position in interleaved
+        ]
+        batched = workspace.serve_batch(requests)
+        assert [response.request.request_id for response in batched] == [
+            str(position) for position in interleaved
+        ]
+        for request, from_batch in zip(requests, batched):
+            single = workspace.recommend(request)
+            assert from_batch.formula == single.formula
+            assert from_batch.confidence == single.confidence
+            assert from_batch.provenance == single.provenance
+            assert from_batch.abstain_reason == single.abstain_reason
+
+    def test_latency_recorded_per_request(self, trained_encoder, workload):
+        references, cases = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("timed", workbooks=references)
+        requests = [
+            RecommendationRequest(case.target_sheet, case.target_cell) for case in cases
+        ]
+        responses = workspace.serve_batch(requests)
+        assert len(workspace.latency) == len(requests)
+        assert all(response.latency_seconds >= 0.0 for response in responses)
+        summary = workspace.latency.summary()
+        assert summary["count"] == float(len(requests))
+        assert summary["p95_seconds"] >= summary["p50_seconds"] >= 0.0
+
+    def test_empty_request_list(self, trained_encoder, workload):
+        references, __ = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("empty-batch", workbooks=references)
+        assert workspace.serve_batch([]) == []
+
+
+class TestAbstention:
+    def test_empty_corpus_reason(self, trained_encoder, workload):
+        __, cases = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("empty")
+        response = workspace.recommend(
+            RecommendationRequest(cases[0].target_sheet, cases[0].target_cell)
+        )
+        assert not response.accepted
+        assert response.formula is None
+        assert response.confidence == 0.0
+        assert response.abstain_reason == AbstainReason.EMPTY_CORPUS
+
+    def test_no_confident_match_reason(self, trained_encoder, workload):
+        references, cases = workload
+        config = AutoFormulaConfig(acceptance_threshold=1e-9)
+        service = FormulaService(trained_encoder, config)
+        workspace = service.create_workspace("strict", workbooks=references)
+        responses = workspace.serve_batch(
+            [RecommendationRequest(case.target_sheet, case.target_cell) for case in cases]
+        )
+        assert all(not response.accepted for response in responses)
+        assert all(
+            response.abstain_reason == AbstainReason.NO_CONFIDENT_MATCH
+            for response in responses
+        )
+
+
+class TestTypes:
+    def test_request_normalizes_a1_strings(self, workload):
+        __, cases = workload
+        request = RecommendationRequest(cases[0].target_sheet, "D41")
+        assert request.cell == CellAddress.from_a1("D41")
+
+    def test_request_and_response_are_frozen(self, workload):
+        __, cases = workload
+        request = RecommendationRequest(cases[0].target_sheet, CellAddress(1, 1))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.cell = CellAddress(0, 0)
+        response = RecommendationResponse(
+            request=request, workspace="w", method="m", formula=None, confidence=0.0
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            response.formula = "=SUM(A1:A2)"
+
+    def test_accepted_property(self, workload):
+        __, cases = workload
+        request = RecommendationRequest(cases[0].target_sheet, CellAddress(1, 1))
+        accepted = RecommendationResponse(
+            request=request, workspace="w", method="m", formula="=A1", confidence=0.5
+        )
+        rejected = RecommendationResponse(
+            request=request, workspace="w", method="m", formula=None, confidence=0.0,
+            abstain_reason=AbstainReason.NO_CONFIDENT_MATCH,
+        )
+        assert accepted.accepted and not rejected.accepted
+
+
+class TestFacade:
+    def test_workspace_registry(self, trained_encoder):
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("alpha")
+        assert service.workspace("alpha") is workspace
+        assert service["alpha"] is workspace
+        assert "alpha" in service
+        assert service.workspace_names() == ["alpha"]
+        assert len(service) == 1
+        with pytest.raises(ValueError):
+            service.create_workspace("alpha")
+        dropped = service.drop_workspace("alpha")
+        assert dropped is workspace
+        assert "alpha" not in service
+        with pytest.raises(KeyError):
+            service.workspace("alpha")
+
+    def test_default_predictor_is_autoformula(self, trained_encoder):
+        config = AutoFormulaConfig(top_k_sheets=2)
+        service = FormulaService(trained_encoder, config)
+        workspace = service.create_workspace("default")
+        assert isinstance(workspace.predictor, AutoFormula)
+        assert workspace.predictor.config is config
+
+    def test_predictor_required_without_encoder(self):
+        service = FormulaService()
+        with pytest.raises(ValueError):
+            service.create_workspace("no-encoder")
+        workspace = service.create_workspace("baseline", predictor=WeakSupervisionBaseline())
+        assert isinstance(workspace.predictor, WeakSupervisionBaseline)
+
+    def test_duplicate_workbook_rejected(self, trained_encoder, workload):
+        references, __ = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("dup", workbooks=references[:1])
+        with pytest.raises(ValueError):
+            workspace.add_workbook(references[0])
+        with pytest.raises(KeyError):
+            workspace.remove_workbook("no-such-workbook")
+
+    def test_bare_sheets_rejected(self, trained_encoder, workload):
+        # The predictor API accepts bare sheets, but the workspace corpus is
+        # workbook-keyed: a bare sheet would be indexed under "<sheet>" and
+        # registered under its own name, making it irremovable.
+        references, __ = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("sheets")
+        with pytest.raises(TypeError):
+            workspace.add_workbook(references[0].sheets[0])
+        assert len(workspace) == 0
+
+    def test_zero_sheet_workbook_round_trip(self, trained_encoder, workload):
+        from repro.sheet import Workbook as _Workbook
+
+        references, __ = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("hollow", workbooks=references[:1])
+        workspace.add_workbook(_Workbook(name="empty.xlsx"))
+        assert "empty.xlsx" in workspace
+        removed = workspace.remove_workbook("empty.xlsx")
+        assert removed.name == "empty.xlsx"
+        assert "empty.xlsx" not in workspace
+
+    def test_failed_mutation_leaves_registry_consistent(self, workload):
+        references, __ = workload
+
+        class _ExplodingFit(WeakSupervisionBaseline):
+            def fit(self, reference_workbooks):
+                raise RuntimeError("boom")
+
+        workspace = Workspace("failing", _ExplodingFit())
+        with pytest.raises(RuntimeError):
+            workspace.add_workbook(references[0])
+        assert len(workspace) == 0
+        assert references[0].name not in workspace
+
+
+class TestBaselineWorkspace:
+    """Non-incremental predictors are refit on every corpus mutation."""
+
+    def test_mutation_refits_baseline(self, workload):
+        references, cases = workload
+        service = FormulaService()
+        workspace = service.create_workspace(
+            "weak", predictor=WeakSupervisionBaseline(), workbooks=references[:3]
+        )
+        workspace.add_workbook(references[3])
+        workspace.remove_workbook(references[0].name)
+        assert workspace.workbook_names == [
+            workbook.name for workbook in references[1:4]
+        ]
+        response = workspace.recommend(
+            RecommendationRequest(cases[0].target_sheet, cases[0].target_cell)
+        )
+        assert isinstance(response, RecommendationResponse)
+        assert response.method == workspace.predictor.name
+
+
+class TestAdapters:
+    def test_evaluate_matches_runner(self, trained_encoder, workload):
+        references, cases = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("eval", workbooks=references)
+        run = workspace.evaluate(cases, corpus_name="PGE")
+
+        fresh = AutoFormula(trained_encoder, AutoFormulaConfig())
+        expected = run_method_on_cases(fresh, references, cases, corpus_name="PGE")
+        assert run.metrics == expected.metrics
+        assert run.corpus_name == "PGE"
+
+    def test_autofill_and_error_detection_adapters(self, trained_encoder, workload):
+        references, cases = workload
+        service = FormulaService(trained_encoder)
+        workspace = service.create_workspace("ext", workbooks=references)
+
+        suggestion = workspace.suggest_value(cases[0].target_sheet, cases[0].target_cell)
+        assert suggestion is None or suggestion.confidence >= 0.0
+        anomalies = workspace.audit_sheet(references[0][references[0].sheet_names[0]])
+        assert isinstance(anomalies, list)
+
+        # Extensions are refit lazily after corpus mutation.
+        autofill_before = workspace.autofill()
+        assert autofill_before.n_reference_sheets == sum(
+            len(workbook) for workbook in workspace.workbooks()
+        )
+        workspace.remove_workbook(references[-1].name)
+        autofill_after = workspace.autofill()
+        assert autofill_after is autofill_before  # same instance, refitted
+        assert autofill_after.n_reference_sheets == sum(
+            len(workbook) for workbook in workspace.workbooks()
+        )
+
+    def test_extensions_need_encoder(self, workload):
+        references, cases = workload
+        workspace = Workspace("bare", WeakSupervisionBaseline())
+        workspace.add_workbooks(references[:2])
+        with pytest.raises(RuntimeError):
+            workspace.autofill()
+        with pytest.raises(RuntimeError):
+            workspace.audit_sheet(cases[0].target_sheet)
