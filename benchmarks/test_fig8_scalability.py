@@ -17,6 +17,7 @@ from repro.corpus import CorpusGenerator, CorpusSpec
 from repro.evaluation import predict_cases
 from repro.features import FeatureConfig
 from repro.models import ModelConfig, SheetEncoder
+from repro.service import RecommendationRequest, ShardedWorkspace, Workspace
 
 from conftest import CORPUS_ORDER
 
@@ -144,3 +145,100 @@ def test_fig8_scalability(benchmark, encoder, workloads_timestamp, report_writer
     mondrian_offline_growth = growth(offline["Mondrian"])
     assert mondrian_online_growth > auto_online_growth
     assert mondrian_offline_growth > auto_offline_growth
+
+
+#: Shard counts swept by the sharded-serving variant (1 = the unsharded
+#: baseline topology, served through the same coordinator code path).
+SHARD_COUNTS = (1, 2, 4)
+
+
+def test_fig8_sharded_scaling(benchmark, encoder, workloads_timestamp, report_writer):
+    """Fig. 8 sharded variant: serve-path throughput vs shard count.
+
+    Builds the largest sweep corpus once, then serves an identical
+    request stream through a plain :class:`Workspace` and through
+    :class:`ShardedWorkspace` at each shard count, measuring offline
+    indexing time (shards fit in parallel) and end-to-end serving
+    throughput.  Responses must be bit-identical across *every* topology
+    — sharding is a pure execution strategy — which doubles as the
+    benchmark-scale parity check for the invariant suite.
+    """
+    reference = _build_reference_pool(SWEEP_SIZES[-1])
+    query_cases = workloads_timestamp["PGE"].cases[:8]
+    # A serving-shaped stream: several requests per target sheet.
+    requests = [
+        RecommendationRequest(case.target_sheet, case.target_cell, request_id=str(index))
+        for index, case in enumerate(query_cases * 3)
+    ]
+    config = AutoFormulaConfig()
+
+    def run_sweep():
+        results = {}
+
+        start = time.perf_counter()
+        plain = Workspace("fig8-plain", AutoFormula(encoder, config))
+        plain.add_workbooks(reference)
+        offline_seconds = time.perf_counter() - start
+        plain.serve_batch(requests[: len(query_cases)])  # warm caches
+        start = time.perf_counter()
+        baseline_responses = plain.serve_batch(requests)
+        elapsed = time.perf_counter() - start
+        results["unsharded"] = {
+            "offline_seconds": offline_seconds,
+            "throughput_rps": len(requests) / elapsed,
+            "p50_seconds": plain.latency.percentile(0.5),
+        }
+
+        for n_shards in SHARD_COUNTS:
+            start = time.perf_counter()
+            sharded = ShardedWorkspace(
+                f"fig8-sharded-{n_shards}",
+                lambda: AutoFormula(encoder, config),
+                n_shards,
+            )
+            sharded.add_workbooks(reference)
+            offline_seconds = time.perf_counter() - start
+            sharded.serve_batch(requests[: len(query_cases)])  # warm caches
+            start = time.perf_counter()
+            responses = sharded.serve_batch(requests)
+            elapsed = time.perf_counter() - start
+            results[f"sharded K={n_shards}"] = {
+                "offline_seconds": offline_seconds,
+                "throughput_rps": len(requests) / elapsed,
+                "p50_seconds": sharded.latency.percentile(0.5),
+            }
+            # Sharding must not change a single answer.
+            assert [
+                (r.formula, r.confidence, r.abstain_reason) for r in responses
+            ] == [
+                (r.formula, r.confidence, r.abstain_reason) for r in baseline_responses
+            ], f"sharded K={n_shards} diverged from unsharded serving"
+            sharded.close()
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 8 (sharded variant): serve-path scaling vs shard count",
+        f"corpus: {len(reference)} workbooks; stream: {len(requests)} requests",
+        "",
+        f"{'topology':16s} {'offline (s)':>12s} {'throughput (req/s)':>20s} {'p50 (s)':>10s}",
+    ]
+    for label, row in results.items():
+        lines.append(
+            f"{label:16s} {row['offline_seconds']:>12.3f} "
+            f"{row['throughput_rps']:>20.1f} {row['p50_seconds']:>10.4f}"
+        )
+    report_writer("fig8_sharded_scaling", lines)
+
+    # Shape assertions, deliberately tolerant of machine variance: the
+    # coordinator overhead must stay bounded (a sharded topology serves at
+    # a comparable order of magnitude to the unsharded engine), and the
+    # widest fan-out must not be the slowest way to serve the stream.
+    base = results["unsharded"]["throughput_rps"]
+    for n_shards in SHARD_COUNTS:
+        assert results[f"sharded K={n_shards}"]["throughput_rps"] >= 0.25 * base
+    assert (
+        results[f"sharded K={SHARD_COUNTS[-1]}"]["throughput_rps"]
+        >= 0.8 * results["sharded K=1"]["throughput_rps"]
+    )

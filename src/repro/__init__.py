@@ -51,6 +51,7 @@ from repro.service import (
     FormulaService,
     RecommendationRequest,
     RecommendationResponse,
+    ShardedWorkspace,
     Workspace,
 )
 
@@ -83,6 +84,7 @@ __all__ = [
     "FormulaService",
     "RecommendationRequest",
     "RecommendationResponse",
+    "ShardedWorkspace",
     "Workspace",
     "__version__",
 ]

@@ -265,9 +265,16 @@ class VectorIndex(abc.ABC):
         else:
             matrix = self._matrix[positions]
             sq_norms = self._sq_norms[positions]
+        # The cross term deliberately avoids BLAS (``queries @ matrix.T``):
+        # sgemm picks different kernels — and different accumulation orders —
+        # depending on operand shapes, so the same (query, vector) pair can
+        # score a few ULPs apart in pools of different sizes.  Unoptimized
+        # einsum accumulates each element in fixed order regardless of shape,
+        # which is what lets a sharded corpus (scoring per-shard sub-pools)
+        # reproduce a single index's distances bit-for-bit.
         distances = (
             sq_norms[None, :]
-            - 2.0 * (queries @ matrix.T)
+            - 2.0 * np.einsum("ij,kj->ik", queries, matrix)
             + np.einsum("ij,ij->i", queries, queries)[:, None]
         )
         np.maximum(distances, 0.0, out=distances)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -62,14 +63,26 @@ class IVFIndex(VectorIndex):
         self._centroids: Optional[np.ndarray] = None
         self._lists: Dict[int, List[int]] = {}
         self._trained_size = 0
+        #: Serializes lazy quantizer training: searches are logically
+        #: read-only but the first query after a (re)build trains k-means,
+        #: and concurrent readers must see either the fully-trained state
+        #: or train it themselves — never a half-written one.
+        self._train_mutex = threading.Lock()
 
-    def _assign(self, vectors: np.ndarray) -> np.ndarray:
-        """Nearest-centroid assignment for a block of vectors."""
-        assert self._centroids is not None
+    def _assign(self, vectors: np.ndarray, centroids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Nearest-centroid assignment for a block of vectors.
+
+        ``centroids`` defaults to the published quantizer; ``_train``
+        passes its freshly-computed matrix explicitly so assignment can
+        run *before* the new state is published to concurrent readers.
+        """
+        if centroids is None:
+            centroids = self._centroids
+        assert centroids is not None
         distances = (
             np.sum(vectors**2, axis=1, keepdims=True)
-            - 2.0 * vectors @ self._centroids.T
-            + np.sum(self._centroids**2, axis=1)
+            - 2.0 * vectors @ centroids.T
+            + np.sum(centroids**2, axis=1)
         )
         return np.argmin(distances, axis=1)
 
@@ -84,11 +97,15 @@ class IVFIndex(VectorIndex):
         # exactly like a fresh index built from the surviving vectors.
         live_positions = np.flatnonzero(self._alive[: self._size])
         matrix = self._matrix[live_positions]
-        self._centroids = _kmeans(matrix, self._n_clusters, self._kmeans_iterations, self._seed)
-        assignment = self._assign(matrix)
-        self._lists = {}
+        centroids = _kmeans(matrix, self._n_clusters, self._kmeans_iterations, self._seed)
+        assignment = self._assign(matrix, centroids)
+        lists: Dict[int, List[int]] = {}
         for position, cluster in zip(live_positions.tolist(), assignment):
-            self._lists.setdefault(int(cluster), []).append(int(position))
+            lists.setdefault(int(cluster), []).append(int(position))
+        # Publish the fully-built state last so concurrent readers never see
+        # centroids paired with half-filled inverted lists.
+        self._lists = lists
+        self._centroids = centroids
         self._trained_size = len(self)
 
     def _needs_training(self) -> bool:
@@ -100,7 +117,11 @@ class IVFIndex(VectorIndex):
         if len(self) < 2 * self._n_clusters:
             return None
         if self._needs_training():
-            self._train()
+            # Double-checked: concurrent searches racing on a stale
+            # quantizer train it once; later arrivals re-check and skip.
+            with self._train_mutex:
+                if self._needs_training():
+                    self._train()
         assert self._centroids is not None
         distances = np.sum((self._centroids - query) ** 2, axis=1)
         probe_order = np.argsort(distances, kind="stable")[: self._n_probe]

@@ -14,6 +14,12 @@ of Section 4.1 / Algorithm 2:
 
 from repro.core.interface import FormulaPredictor, Prediction
 from repro.core.config import AutoFormulaConfig
-from repro.core.pipeline import AutoFormula
+from repro.core.pipeline import AutoFormula, ScoredPrediction
 
-__all__ = ["FormulaPredictor", "Prediction", "AutoFormulaConfig", "AutoFormula"]
+__all__ = [
+    "FormulaPredictor",
+    "Prediction",
+    "AutoFormulaConfig",
+    "AutoFormula",
+    "ScoredPrediction",
+]

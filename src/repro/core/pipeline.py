@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.ann import create_index
+from repro.ann import SearchResult, create_index
 from repro.core.config import AutoFormulaConfig
 from repro.core.interface import FormulaPredictor, Prediction
 from repro.features.window import SheetKeyedLRU, gather_windows
@@ -79,6 +79,28 @@ class _ReferenceSheet:
     workbook_name: str
     sheet: Sheet
     formulas: List[_ReferenceFormula]
+
+
+@dataclass(frozen=True)
+class ScoredPrediction:
+    """One target cell's best S2 hit, with the keys needed to merge
+    candidate predictions *across* predictors deterministically.
+
+    Returned by :meth:`AutoFormula.predict_batch_scored`.  ``prediction``
+    is ``None`` when the hit failed the acceptance threshold or S3
+    re-grounding (the same cases in which :meth:`AutoFormula.predict`
+    abstains).  ``sheet_rank`` is the index of the owning reference sheet
+    in the ``sheet_ids`` sequence the caller passed — the caller's own
+    candidate ordering — and ``formula_index`` is the formula's position
+    within that sheet, so ``(distance, sheet_rank, formula_index)``
+    reproduces the single-index pool tie-break when bests from several
+    shards are compared.
+    """
+
+    prediction: Optional[Prediction]
+    distance: float
+    sheet_rank: int
+    formula_index: int
 
 
 class AutoFormula(FormulaPredictor):
@@ -497,6 +519,27 @@ class AutoFormula(FormulaPredictor):
             if reference is not None
         )
 
+    @property
+    def sheet_id_watermark(self) -> int:
+        """Stable sheet ids assigned so far (tombstones included).
+
+        Stable ids are never renumbered, so the sheets of the next
+        ``add_workbooks`` call get ids ``watermark, watermark + 1, ...`` in
+        corpus order — which is how a sharding coordinator maps its global
+        sheet bookkeeping onto each shard's ids without peeking inside.
+        """
+        return len(self._reference_sheets)
+
+    @property
+    def sheet_index(self):
+        """The S1 sheet-level vector index (``None`` before ``fit``)."""
+        return self._sheet_index
+
+    @property
+    def formula_index(self):
+        """The S2 formula-region vector index (``None`` before ``fit``)."""
+        return self._formula_index
+
     # ----------------------------------------------------------------- online
 
     def predict(self, target_sheet: Sheet, target_cell: CellAddress) -> Optional[Prediction]:
@@ -515,62 +558,179 @@ class AutoFormula(FormulaPredictor):
         cells = list(target_cells)
         if not cells:
             return []
-        if not self._reference_sheets or self._sheet_index is None or len(self._sheet_index) == 0:
-            return [None] * len(cells)
-
         # S1: similar-sheet search over the coarse index (once per sheet).
-        sheet_hits = self._sheet_index.search(
-            self._sheet_vector(target_sheet), k=self.config.top_k_sheets
+        hits = self.sheet_hits(target_sheet)
+        if not hits:
+            return [None] * len(cells)
+        # S2 + S3 over the hit sheets' formula pools, in hit order so
+        # distance ties resolve toward the most similar sheet.
+        scored = self.predict_batch_scored(
+            target_sheet, cells, [int(hit.key) for hit in hits]
         )
-        # S2 candidate pool: every formula region of the S1 sheets, in hit
-        # order so distance ties resolve toward the most similar sheet.
+        return [item.prediction if item is not None else None for item in scored]
+
+    def sheet_query_vector(self, target_sheet: Sheet) -> np.ndarray:
+        """The S1 query-side embedding of a target sheet.
+
+        Exposed so a sharding coordinator can embed the query *once* and
+        pass it to every shard's :meth:`sheet_hits` instead of paying the
+        full-sheet featurization per shard.  Depends only on the shared
+        encoder, so every shard would compute the identical vector.
+        """
+        return self._sheet_vector(target_sheet)
+
+    def region_query_vectors(
+        self, target_sheet: Sheet, target_cells: Sequence[CellAddress]
+    ) -> np.ndarray:
+        """The S2 query-side embeddings of the target cells (center-blanked).
+
+        The coordinator-side counterpart of :meth:`sheet_query_vector` for
+        :meth:`predict_batch_scored`'s ``target_vectors`` argument.
+        """
+        return self._region_vectors(target_sheet, list(target_cells), blank_center=True)
+
+    def sheet_hits(
+        self,
+        target_sheet: Sheet,
+        k: Optional[int] = None,
+        query_vector: Optional[np.ndarray] = None,
+    ) -> List[SearchResult]:
+        """S1 as a standalone stage: the (up to) ``k`` most similar indexed
+        reference sheets, most similar first.
+
+        Hit keys are *stable sheet ids* usable with
+        :meth:`predict_batch_scored`.  ``k`` defaults to the configured
+        ``top_k_sheets``.  A sharding coordinator runs this on every shard
+        (passing the once-computed ``query_vector``) and merges the hits by
+        ``(distance, global corpus order)`` before handing each shard its
+        slice of the merged candidate list.
+        """
+        if not self._reference_sheets or self._sheet_index is None or len(self._sheet_index) == 0:
+            return []
+        if query_vector is None:
+            query_vector = self._sheet_vector(target_sheet)
+        return self._sheet_index.search(
+            query_vector, k=self.config.top_k_sheets if k is None else k
+        )
+
+    def predict_batch_scored(
+        self,
+        target_sheet: Sheet,
+        target_cells: Sequence[CellAddress],
+        sheet_ids: Sequence[int],
+        target_vectors: Optional[np.ndarray] = None,
+        adapt: bool = True,
+    ) -> List[Optional[ScoredPrediction]]:
+        """S2 (+ optionally S3) restricted to the given reference sheets.
+
+        ``sheet_ids`` are stable sheet ids (e.g. from :meth:`sheet_hits`),
+        in candidate-priority order: the S2 pool is the concatenation of
+        their formula regions in that order, so distance ties break toward
+        earlier sheets exactly as in :meth:`predict_batch`.  Returns one
+        :class:`ScoredPrediction` per target cell (``None`` when the pool
+        is empty), carrying the best hit's distance and pool coordinates so
+        bests from disjoint sheet subsets can be merged deterministically.
+
+        ``target_vectors`` optionally carries the query-side region
+        embeddings (see :meth:`region_query_vectors`) so a coordinator
+        fanning one batch across shards encodes the targets once.  With
+        ``adapt=False`` the expensive S3 re-grounding is skipped and every
+        returned ``prediction`` is ``None``: a coordinator first merges the
+        per-shard bests, then runs :meth:`adapt_batch` only on each cell's
+        *winning* shard instead of adapting a losing candidate per shard.
+        Raises ``KeyError`` if a sheet id refers to a removed sheet.
+        """
+        cells = list(target_cells)
+        if not cells:
+            return []
+        if target_vectors is not None and len(target_vectors) != len(cells):
+            raise ValueError(
+                f"{len(target_vectors)} target vectors for {len(cells)} cells"
+            )
+        rank_of: Dict[int, int] = {}
+        pools: List[np.ndarray] = []
+        for rank, sheet_id in enumerate(sheet_ids):
+            sheet_id = int(sheet_id)
+            positions = self._formula_positions[sheet_id]
+            if positions is None:
+                raise KeyError(f"reference sheet {sheet_id} has been removed")
+            rank_of[sheet_id] = rank
+            pools.append(positions)
         pool = (
-            np.concatenate([self._formula_positions[int(hit.key)] for hit in sheet_hits])
-            if sheet_hits
-            else np.empty(0, dtype=np.int64)
+            np.concatenate(pools) if pools else np.empty(0, dtype=np.int64)
         )
         if pool.size == 0:
             return [None] * len(cells)
 
         # S2: one matmul scoring all target regions against the pool.
-        target_vectors = self._region_vectors(target_sheet, cells, blank_center=True)
+        if target_vectors is None:
+            target_vectors = self._region_vectors(target_sheet, cells, blank_center=True)
         hit_lists = self._formula_index.search_batch(target_vectors, k=1, positions=pool)
 
-        predictions: List[Optional[Prediction]] = []
+        results: List[Optional[ScoredPrediction]] = []
         for target_cell, hits in zip(cells, hit_lists):
             if not hits:
-                predictions.append(None)
+                results.append(None)
                 continue
             distance = hits[0].distance
-            if distance > self.config.acceptance_threshold:
-                predictions.append(None)
-                continue
             sheet_position, local = hits[0].key
-            reference = self._reference_sheets[int(sheet_position)]
-            reference_formula = reference.formulas[int(local)]
-            confidence = max(0.0, 1.0 - distance / 4.0)
-
-            # S3: re-ground each parameter of the reference formula.
-            predicted = self._adapt_formula(
-                reference.sheet, reference_formula, target_sheet, target_cell
-            )
-            if predicted is None:
-                predictions.append(None)
+            sheet_rank = rank_of[int(sheet_position)]
+            if not adapt or distance > self.config.acceptance_threshold:
+                results.append(ScoredPrediction(None, distance, sheet_rank, int(local)))
                 continue
-            predictions.append(
-                Prediction(
-                    formula=predicted,
-                    confidence=confidence,
-                    details={
-                        "reference_workbook": reference.workbook_name,
-                        "reference_sheet": reference.sheet.name,
-                        "reference_cell": reference_formula.address.to_a1(),
-                        "reference_formula": reference_formula.formula,
-                        "s2_distance": distance,
-                    },
-                )
+            prediction = self._adapt_hit(
+                target_sheet, target_cell, int(sheet_position), int(local), distance
             )
-        return predictions
+            results.append(ScoredPrediction(prediction, distance, sheet_rank, int(local)))
+        return results
+
+    def adapt_batch(
+        self,
+        target_sheet: Sheet,
+        items: Sequence[Tuple[CellAddress, int, int, float]],
+    ) -> List[Optional[Prediction]]:
+        """S3 re-grounding for already-chosen S2 winners.
+
+        Each item is ``(target cell, stable sheet id, formula index, S2
+        distance)`` — what a sharding coordinator knows about a cell's
+        winning hit after merging :meth:`predict_batch_scored` results.
+        Returns the finished predictions (``None`` where re-grounding
+        fails), identical to what the un-split pipeline would produce.
+        The caller is responsible for the acceptance-threshold check.
+        """
+        return [
+            self._adapt_hit(target_sheet, cell, int(sheet_id), int(local), distance)
+            for cell, sheet_id, local, distance in items
+        ]
+
+    def _adapt_hit(
+        self,
+        target_sheet: Sheet,
+        target_cell: CellAddress,
+        sheet_position: int,
+        local: int,
+        distance: float,
+    ) -> Optional[Prediction]:
+        """S3 for one winning (sheet, formula) hit, packaged as a Prediction."""
+        reference = self._reference_sheets[sheet_position]
+        reference_formula = reference.formulas[local]
+        confidence = max(0.0, 1.0 - distance / 4.0)
+        predicted = self._adapt_formula(
+            reference.sheet, reference_formula, target_sheet, target_cell
+        )
+        if predicted is None:
+            return None
+        return Prediction(
+            formula=predicted,
+            confidence=confidence,
+            details={
+                "reference_workbook": reference.workbook_name,
+                "reference_sheet": reference.sheet.name,
+                "reference_cell": reference_formula.address.to_a1(),
+                "reference_formula": reference_formula.formula,
+                "s2_distance": distance,
+            },
+        )
 
     # --------------------------------------------------------------------- S3
 

@@ -7,6 +7,7 @@ speedup in offline preprocessing.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -15,12 +16,19 @@ from repro.embedding.base import TextEmbedder
 
 
 class CachingEmbedder(TextEmbedder):
-    """LRU-caches the results of a wrapped embedder."""
+    """LRU-caches the results of a wrapped embedder.
+
+    The cache is guarded by a mutex so one embedder can serve concurrent
+    featurization threads (the inner embedding itself is computed outside
+    the lock; a raced miss at worst embeds the same string twice, and both
+    threads then agree on the deterministic result).
+    """
 
     def __init__(self, inner: TextEmbedder, max_entries: int = 200_000) -> None:
         self._inner = inner
         self._max_entries = max_entries
         self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._mutex = threading.Lock()
         self.name = inner.name
 
     @property
@@ -33,16 +41,21 @@ class CachingEmbedder(TextEmbedder):
         return len(self._cache)
 
     def embed(self, text: str) -> np.ndarray:
-        cached = self._cache.get(text)
-        if cached is not None:
-            self._cache.move_to_end(text)
-            return cached
+        with self._mutex:
+            cached = self._cache.get(text)
+            if cached is not None:
+                self._cache.move_to_end(text)
+                return cached
         # Own a private copy and freeze it: every future hit returns this
         # same array, so a caller mutating it in place would otherwise
         # silently corrupt all subsequent lookups of ``text``.
         vector = np.array(self._inner.embed(text), dtype=np.float32)
         vector.setflags(write=False)
-        self._cache[text] = vector
-        if len(self._cache) > self._max_entries:
-            self._cache.popitem(last=False)
+        with self._mutex:
+            existing = self._cache.get(text)
+            if existing is not None:
+                return existing
+            self._cache[text] = vector
+            if len(self._cache) > self._max_entries:
+                self._cache.popitem(last=False)
         return vector

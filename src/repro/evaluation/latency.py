@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -25,6 +26,9 @@ class LatencyRecorder:
     ``mean`` and ``max`` are maintained as running aggregates over *every*
     recorded sample, while percentiles are computed over a sliding window
     of the most recent ``window_size`` samples.
+
+    Recording and reading are guarded by a mutex: concurrent serving
+    threads all record on their workspace's shared recorder.
     """
 
     def __init__(self, window_size: int = 8192) -> None:
@@ -34,6 +38,7 @@ class LatencyRecorder:
         self._count = 0
         self._total = 0.0
         self._max = 0.0
+        self._mutex = threading.Lock()
 
     def __len__(self) -> int:
         """Number of samples ever recorded (not just the window)."""
@@ -44,11 +49,12 @@ class LatencyRecorder:
         if seconds < 0:
             raise ValueError("latency must be non-negative")
         seconds = float(seconds)
-        self._window.append(seconds)
-        self._count += 1
-        self._total += seconds
-        if seconds > self._max:
-            self._max = seconds
+        with self._mutex:
+            self._window.append(seconds)
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
 
     @property
     def total_seconds(self) -> float:
@@ -64,9 +70,11 @@ class LatencyRecorder:
         """Nearest-rank percentile over the recent window, ``fraction`` in [0, 1]."""
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
-        if not self._window:
+        with self._mutex:
+            window = list(self._window)
+        if not window:
             return 0.0
-        ordered = sorted(self._window)
+        ordered = sorted(window)
         rank = max(int(-(-fraction * len(ordered) // 1)), 1)  # ceil, >= 1
         return ordered[min(rank, len(ordered)) - 1]
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import List, Optional
 
@@ -60,8 +61,11 @@ class CellFeaturizer:
         #: LRU over full feature vectors, keyed by the cell *content* that
         #: determines them: (value, has-formula, style, validity).  Corpora
         #: repeat the same headers, labels and styles across thousands of
-        #: cells, so this removes most per-cell Python work.
+        #: cells, so this removes most per-cell Python work.  Guarded by a
+        #: mutex: one featurizer is shared by every concurrent serving
+        #: thread driving the same encoder.
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._cache_mutex = threading.Lock()
 
     # ----------------------------------------------------------------- layout
 
@@ -160,16 +164,21 @@ class CellFeaturizer:
         except TypeError:  # unhashable exotic value; compute uncached
             key = None
         if key is not None:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                return cached
+            with self._cache_mutex:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    return cached
         vector = self._featurize_uncached(cell, valid)
         vector.setflags(write=False)
         if key is not None:
-            self._cache[key] = vector
-            if len(self._cache) > self._max_cached_cells:
-                self._cache.popitem(last=False)
+            with self._cache_mutex:
+                existing = self._cache.get(key)
+                if existing is not None:
+                    return existing
+                self._cache[key] = vector
+                if len(self._cache) > self._max_cached_cells:
+                    self._cache.popitem(last=False)
         return vector
 
     def _featurize_uncached(self, cell: Cell, valid: bool) -> np.ndarray:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -29,6 +30,13 @@ class SheetKeyedLRU:
     while its entry is alive; eviction is deterministic (least recently
     used first).  Shared by every sheet-keyed cache in the system (feature
     tensors, reduced tensors, target-region embeddings).
+
+    Access is guarded by an internal mutex so one cache can be shared by
+    concurrent serving threads (e.g. the shards of a
+    ``ShardedWorkspace`` featurizing the same target sheet through one
+    encoder).  Cached values are deterministic functions of their sheet, so
+    a miss raced by two threads at worst computes the value twice — the
+    entries themselves never get corrupted.
     """
 
     def __init__(self, max_entries: int) -> None:
@@ -36,31 +44,36 @@ class SheetKeyedLRU:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: "OrderedDict[int, Tuple[Sheet, object]]" = OrderedDict()
+        self._mutex = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, sheet: Sheet):
         """The cached value for ``sheet`` (refreshing recency), or ``None``."""
-        entry = self._entries.get(id(sheet))
-        if entry is None or entry[0] is not sheet:
-            return None
-        self._entries.move_to_end(id(sheet))
-        return entry[1]
+        with self._mutex:
+            entry = self._entries.get(id(sheet))
+            if entry is None or entry[0] is not sheet:
+                return None
+            self._entries.move_to_end(id(sheet))
+            return entry[1]
 
     def put(self, sheet: Sheet, value) -> None:
         """Insert/refresh ``sheet``'s value, evicting LRU entries over bound."""
-        self._entries[id(sheet)] = (sheet, value)
-        self._entries.move_to_end(id(sheet))
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[id(sheet)] = (sheet, value)
+            self._entries.move_to_end(id(sheet))
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def sheets(self):
         """Cached sheets, least recently used first."""
-        return [entry[0] for entry in self._entries.values()]
+        with self._mutex:
+            return [entry[0] for entry in self._entries.values()]
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
 
 def region_window_bounds(

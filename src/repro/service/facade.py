@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.config import AutoFormulaConfig
 from repro.core.interface import FormulaPredictor
 from repro.core.pipeline import AutoFormula
 from repro.models.encoder import SheetEncoder
+from repro.service.sharding import ShardedWorkspace
 from repro.service.workspace import Workspace
 from repro.sheet.workbook import Workbook
+
+#: Anything the registry serves: plain or sharded workspaces share the
+#: typed serving surface (``recommend`` / ``serve_batch`` / mutation).
+AnyWorkspace = Union[Workspace, ShardedWorkspace]
 
 
 class FormulaService:
@@ -30,7 +35,7 @@ class FormulaService:
     ) -> None:
         self._encoder = encoder
         self._config = config
-        self._workspaces: Dict[str, Workspace] = {}
+        self._workspaces: Dict[str, AnyWorkspace] = {}
 
     # ------------------------------------------------------------- workspaces
 
@@ -55,11 +60,43 @@ class FormulaService:
         self._workspaces[name] = workspace
         return workspace
 
-    def workspace(self, name: str) -> Workspace:
+    def create_sharded_workspace(
+        self,
+        name: str,
+        n_shards: int,
+        predictor_factory: Optional[Callable[[], FormulaPredictor]] = None,
+        workbooks: Sequence[Workbook] = (),
+    ) -> ShardedWorkspace:
+        """Create (and register) a :class:`ShardedWorkspace`.
+
+        ``predictor_factory`` builds one predictor per shard; it defaults
+        to fresh :class:`AutoFormula` instances over the service's shared
+        encoder and config, so a sharded workspace answers bit-identically
+        to :meth:`create_workspace` on the same corpus (see
+        ``repro.service.sharding``).
+        """
+        if name in self._workspaces:
+            raise ValueError(f"workspace {name!r} already exists")
+        if predictor_factory is None:
+            if self._encoder is None:
+                raise ValueError(
+                    "a predictor_factory is required: this service was built "
+                    "without an encoder, so it cannot construct the default "
+                    "AutoFormula shards"
+                )
+            encoder = self._encoder
+            config = self._config or AutoFormulaConfig()
+            predictor_factory = lambda: AutoFormula(encoder, config)  # noqa: E731
+        workspace = ShardedWorkspace(name, predictor_factory, n_shards)
+        workspace.add_workbooks(workbooks)
+        self._workspaces[name] = workspace
+        return workspace
+
+    def workspace(self, name: str) -> AnyWorkspace:
         """The workspace called ``name`` (raises ``KeyError`` if missing)."""
         return self._workspaces[name]
 
-    def drop_workspace(self, name: str) -> Workspace:
+    def drop_workspace(self, name: str) -> AnyWorkspace:
         """Unregister and return the workspace called ``name``."""
         workspace = self._workspaces.pop(name)
         return workspace
@@ -68,13 +105,13 @@ class FormulaService:
         """Registered workspace names, in creation order."""
         return list(self._workspaces)
 
-    def __getitem__(self, name: str) -> Workspace:
+    def __getitem__(self, name: str) -> AnyWorkspace:
         return self.workspace(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self._workspaces
 
-    def __iter__(self) -> Iterator[Workspace]:
+    def __iter__(self) -> Iterator[AnyWorkspace]:
         return iter(self._workspaces.values())
 
     def __len__(self) -> int:

@@ -1,0 +1,555 @@
+"""Sharded serving: one corpus partitioned across K independent indexes.
+
+A single :class:`~repro.service.Workspace` holds one predictor and
+therefore one sheet index and one formula index; at production corpus
+sizes both the offline indexing cost and the online scoring cost of a
+single index become the bottleneck.  :class:`ShardedWorkspace` partitions
+the corpus across ``n_shards`` predictor instances by *hashing sheets*
+(CRC-32 of ``workbook name + sheet name``, stable across runs and
+processes), fans every query out across the shards on a thread pool, and
+merges the per-shard results deterministically.
+
+The merge is a faithful re-play of the single-index algorithm:
+
+1. **S1 merge.**  Every populated shard returns its ``top_k_sheets``
+   similar-sheet hits; the coordinator sorts the union by
+   ``(distance, global corpus order)`` and keeps the global top k.  For
+   exact indexes the union of per-shard top-k sets always contains the
+   global top k, and the corpus-order tie-break reproduces the stable
+   argsort of a single index exactly.
+2. **S2/S3 merge.**  Each shard owning selected sheets scores the target
+   cells against *its* slice of the merged candidate list
+   (:meth:`~repro.core.AutoFormula.predict_batch_scored`) and returns its
+   best hit per cell with ``(distance, sheet rank, formula index)`` merge
+   keys; the coordinator takes the minimum.  Since every formula of a
+   sheet lives on that sheet's shard, the minimum over shard bests equals
+   the single-index pool argmin, tie-break included.
+
+The result: with exact index kinds — and with approximate kinds whenever
+they operate in their exact-fallback regime (small per-shard stores;
+LSH additionally shares data-independent hyperplanes across shards) —
+``ShardedWorkspace(K)`` answers bit-identically to the unsharded
+:class:`Workspace` over the same corpus, which the invariant suite in
+``repro.testing`` verifies.  At scales where IVF/LSH genuinely
+approximate, per-shard candidate generation degrades exactly like the
+single-index approximation does.
+
+Concurrency mirrors :class:`Workspace`: a writer-preferring read-write
+lock lets any number of ``serve_batch`` calls interleave with exclusive
+``add_workbooks`` / ``remove_workbook`` mutations, and a per-shard mutex
+serializes access to each (not internally thread-safe) predictor, so two
+concurrent serves pipeline across shards instead of racing on one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.interface import FormulaPredictor, Prediction
+from repro.evaluation.latency import LatencyRecorder
+from repro.service.concurrency import ReadWriteLock
+from repro.service.types import (
+    AbstainReason,
+    RecommendationRequest,
+    RecommendationResponse,
+)
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+#: The predictor-side protocol sharding relies on (implemented by
+#: :class:`~repro.core.AutoFormula`): staged S1 access, restricted scored
+#: prediction, stable sheet ids, and in-place corpus mutation.
+_SHARD_PROTOCOL = (
+    "sheet_hits",
+    "predict_batch_scored",
+    "adapt_batch",
+    "sheet_query_vector",
+    "region_query_vectors",
+    "sheet_id_watermark",
+    "add_workbooks",
+    "remove_workbook",
+)
+
+
+def shard_of_sheet(workbook_name: str, sheet_name: str, n_shards: int) -> int:
+    """Deterministic shard placement of one sheet.
+
+    CRC-32 rather than ``hash()``: placement must be reproducible across
+    processes and ``PYTHONHASHSEED`` values, or a persisted corpus could
+    not be re-routed to its shards.
+    """
+    key = f"{workbook_name}\x1f{sheet_name}".encode("utf-8")
+    return zlib.crc32(key) % n_shards
+
+
+class ShardedWorkspace:
+    """One tenant's corpus partitioned across ``n_shards`` predictors.
+
+    Public surface mirrors :class:`~repro.service.Workspace` (corpus
+    mutation, ``recommend`` / ``serve_batch``, latency recording), so the
+    two are interchangeable behind the typed serving API; construction
+    takes a ``predictor_factory`` building one fresh predictor per shard
+    (all sharing the service's trained encoder).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        predictor_factory: Callable[[], FormulaPredictor],
+        n_shards: int,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.name = name
+        self.n_shards = n_shards
+        self._predictors: List[FormulaPredictor] = [
+            predictor_factory() for __ in range(n_shards)
+        ]
+        for predictor in self._predictors:
+            missing = [
+                attribute
+                for attribute in _SHARD_PROTOCOL
+                if not hasattr(predictor, attribute)
+            ]
+            if missing or not getattr(predictor, "supports_incremental_corpus", False):
+                raise TypeError(
+                    f"{type(predictor).__name__} cannot back a sharded workspace: "
+                    f"it must support incremental corpora and provide "
+                    f"{', '.join(_SHARD_PROTOCOL)}"
+                )
+        #: Serving = shared access, corpus mutation = exclusive access.
+        self._rwlock = ReadWriteLock()
+        #: One mutex per shard: predictors are not internally thread-safe,
+        #: so concurrent serves pipeline across shards instead of racing.
+        self._shard_mutexes = [threading.Lock() for __ in range(n_shards)]
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_mutex = threading.Lock()
+        #: Registered workbooks in insertion order (re-adds go last),
+        #: matching the unsharded workspace's equivalent-corpus order.
+        self._workbooks: Dict[str, Workbook] = {}
+        #: Per workbook: its sheets' ``(shard, stable sheet id)`` homes.
+        self._placements: Dict[str, List[Tuple[int, int]]] = {}
+        #: Per shard: stable sheet id -> global corpus sequence number.
+        #: The sequence number is the rank the sheet would occupy in an
+        #: unsharded index, which is what makes S1 distance ties merge
+        #: exactly like a single index's stable argsort.
+        self._global_seq: List[Dict[int, int]] = [{} for __ in range(n_shards)]
+        self._next_seq = 0
+        #: Per-request serving latencies (amortized for batched requests).
+        self.latency = LatencyRecorder()
+
+    # ------------------------------------------------------------------ corpus
+
+    @property
+    def predictors(self) -> Tuple[FormulaPredictor, ...]:
+        """The per-shard predictors (index = shard number)."""
+        return tuple(self._predictors)
+
+    @property
+    def workbook_names(self) -> List[str]:
+        """Names of the indexed workbooks, in insertion order."""
+        return list(self._workbooks)
+
+    def workbooks(self) -> List[Workbook]:
+        """The indexed workbooks, in insertion order (re-adds go last)."""
+        return list(self._workbooks.values())
+
+    def shard_sizes(self) -> List[int]:
+        """Number of live sheets indexed on each shard."""
+        return [len(seqs) for seqs in self._global_seq]
+
+    def __len__(self) -> int:
+        return len(self._workbooks)
+
+    def __contains__(self, workbook_name: str) -> bool:
+        return workbook_name in self._workbooks
+
+    def add_workbooks(self, workbooks: Iterable[Workbook]) -> None:
+        """Partition and index additional workbooks across the shards.
+
+        Each sheet is routed by :func:`shard_of_sheet`; a workbook whose
+        sheets land on several shards is represented there by same-named
+        sub-workbooks holding its slice (sheet objects are shared, not
+        copied), so provenance and removal still see the original workbook
+        name.  Shard predictors are mutated in parallel; on a shard
+        failure the already-mutated shards are rolled back before the
+        error propagates, so a failed add leaves the corpus unchanged.
+        """
+        workbooks = list(workbooks)
+        if not workbooks:
+            return
+        with self._rwlock.write_lock():
+            seen = set(self._workbooks)
+            for workbook in workbooks:
+                if not isinstance(workbook, Workbook):
+                    raise TypeError(
+                        f"workspaces index Workbook objects, got {type(workbook).__name__}; "
+                        "wrap bare sheets in a Workbook"
+                    )
+                if workbook.name in seen:
+                    raise ValueError(f"workbook {workbook.name!r} is already indexed")
+                seen.add(workbook.name)
+
+            # Plan: per-shard sub-workbooks plus, for every sheet, the
+            # (shard, offset-in-shard-batch, global sequence) triple that
+            # will become its bookkeeping entry once the shards commit.
+            sub_workbooks: Dict[int, List[Workbook]] = {}
+            sub_by_key: Dict[Tuple[int, str], Workbook] = {}
+            shard_offsets: Dict[int, int] = {}
+            plan: Dict[str, List[Tuple[int, int, int]]] = {}
+            assigned = 0
+            for workbook in workbooks:
+                entries: List[Tuple[int, int, int]] = []
+                for sheet in workbook:
+                    shard = shard_of_sheet(workbook.name, sheet.name, self.n_shards)
+                    sub = sub_by_key.get((shard, workbook.name))
+                    if sub is None:
+                        sub = Workbook(workbook.name, workbook.last_modified)
+                        sub_by_key[(shard, workbook.name)] = sub
+                        sub_workbooks.setdefault(shard, []).append(sub)
+                    sub.add_sheet(sheet)
+                    offset = shard_offsets.get(shard, 0)
+                    shard_offsets[shard] = offset + 1
+                    entries.append((shard, offset, self._next_seq + assigned))
+                    assigned += 1
+                plan[workbook.name] = entries
+
+            shards = sorted(sub_workbooks)
+            base = {
+                shard: self._predictors[shard].sheet_id_watermark for shard in shards
+            }
+            outcomes = self._fan_out_collect(
+                shards,
+                lambda shard: self._predictors[shard].add_workbooks(sub_workbooks[shard]),
+            )
+            failed = [shard for shard, (__, error) in zip(shards, outcomes) if error]
+            if failed:
+                # Roll every shard back — including the failed ones, whose
+                # adds may have indexed a prefix of their sub-workbooks
+                # before raising.  Rollback is best-effort: a sub-workbook
+                # the failed shard never reached raises KeyError, which is
+                # exactly the desired no-op.
+                for shard in shards:
+                    for sub in sub_workbooks[shard]:
+                        try:
+                            self._predictors[shard].remove_workbook(sub.name)
+                        except KeyError:
+                            pass
+                raise outcomes[shards.index(failed[0])][1]
+
+            for workbook in workbooks:
+                self._workbooks[workbook.name] = workbook
+                placement: List[Tuple[int, int]] = []
+                for shard, offset, sequence in plan[workbook.name]:
+                    stable_id = base[shard] + offset
+                    self._global_seq[shard][stable_id] = sequence
+                    placement.append((shard, stable_id))
+                self._placements[workbook.name] = placement
+            self._next_seq += assigned
+
+    def add_workbook(self, workbook: Workbook) -> None:
+        """Index one additional workbook (see :meth:`add_workbooks`)."""
+        self.add_workbooks([workbook])
+
+    def remove_workbook(self, workbook_name: str) -> Workbook:
+        """Drop a workbook's sheets from every shard holding them.
+
+        Bookkeeping is updated only after every involved shard has
+        dropped its slice, so a shard failure leaves the workbook
+        registered (mirroring :meth:`Workspace.remove_workbook`); the
+        call is retryable — shards that already dropped their slice are
+        skipped on the next attempt.
+        """
+        with self._rwlock.write_lock():
+            if workbook_name not in self._workbooks:
+                raise KeyError(workbook_name)
+            placement = self._placements[workbook_name]
+            for shard in sorted({shard for shard, __ in placement}):
+                with self._shard_mutexes[shard]:
+                    try:
+                        self._predictors[shard].remove_workbook(workbook_name)
+                    except KeyError:
+                        # Already dropped by a previous, partially-failed
+                        # attempt: removal is idempotent per shard.
+                        pass
+            del self._placements[workbook_name]
+            for shard, stable_id in placement:
+                del self._global_seq[shard][stable_id]
+            return self._workbooks.pop(workbook_name)
+
+    # ----------------------------------------------------------------- serving
+
+    def recommend(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Serve one request (see :meth:`serve_batch`)."""
+        return self.serve_batch([request])[0]
+
+    def serve_batch(
+        self, requests: Sequence[RecommendationRequest]
+    ) -> List[RecommendationResponse]:
+        """Serve a mixed request stream through the shard fan-out.
+
+        Semantics (grouping by target sheet, response order, amortized
+        per-request latency, abstain reasons) match
+        :meth:`Workspace.serve_batch` exactly; only the execution is
+        distributed.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        with self._rwlock.read_lock():
+            if not self._workbooks:
+                return [
+                    self._abstain(request, AbstainReason.EMPTY_CORPUS)
+                    for request in requests
+                ]
+            groups: Dict[int, List[int]] = {}
+            for position, request in enumerate(requests):
+                groups.setdefault(id(request.sheet), []).append(position)
+
+            responses: List[Optional[RecommendationResponse]] = [None] * len(requests)
+            for positions in groups.values():
+                sheet = requests[positions[0]].sheet
+                cells = [requests[position].cell for position in positions]
+                start = time.perf_counter()
+                predictions = self._predict_group(sheet, cells)
+                per_request = (time.perf_counter() - start) / len(positions)
+                for position, prediction in zip(positions, predictions):
+                    self.latency.record(per_request)
+                    request = requests[position]
+                    if prediction is None:
+                        responses[position] = self._abstain(
+                            request, AbstainReason.NO_CONFIDENT_MATCH, per_request
+                        )
+                    else:
+                        responses[position] = RecommendationResponse(
+                            request=request,
+                            workspace=self.name,
+                            method=self._predictors[0].name,
+                            formula=prediction.formula,
+                            confidence=prediction.confidence,
+                            provenance=dict(prediction.details),
+                            latency_seconds=per_request,
+                        )
+            return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------ merge engine
+
+    def _predict_group(
+        self, sheet: Sheet, cells: List
+    ) -> List[Optional[Prediction]]:
+        """The distributed S1 -> S2/S3 query plan for one target sheet."""
+        populated = [
+            shard for shard in range(self.n_shards) if self._global_seq[shard]
+        ]
+        if not populated:
+            return [None] * len(cells)
+
+        # Query-side embeddings are computed once (they depend only on the
+        # shared encoder, so every shard would produce identical vectors)
+        # and handed to each shard — the fan-out parallelizes the *index*
+        # work without multiplying the encoding work by K.
+        query_vector = self._with_shard(
+            populated[0], lambda predictor: predictor.sheet_query_vector(sheet)
+        )
+
+        # Phase 1 — S1 on every populated shard, merged by
+        # (distance, global corpus order): the exact tie-break a single
+        # index's stable argsort would apply.
+        hit_lists = self._fan_out(
+            populated,
+            lambda shard: self._with_shard(
+                shard,
+                lambda predictor: predictor.sheet_hits(sheet, query_vector=query_vector),
+            ),
+        )
+        candidates: List[Tuple[float, int, int, int]] = []
+        for shard, hits in zip(populated, hit_lists):
+            sequences = self._global_seq[shard]
+            for hit in hits:
+                stable_id = int(hit.key)
+                sequence = sequences.get(stable_id)
+                if sequence is None:
+                    # A sheet the coordinator never registered — possible
+                    # only after a failed mutation whose best-effort
+                    # rollback could not fully undo a shard.  Never serve
+                    # from it.
+                    continue
+                candidates.append((hit.distance, sequence, shard, stable_id))
+        if not candidates:
+            return [None] * len(cells)
+        candidates.sort(key=lambda candidate: (candidate[0], candidate[1]))
+        selected = candidates[: self._top_k_sheets()]
+
+        # Phase 2 — each owning shard *scores* the cells against its slice
+        # of the merged candidate list (passed in global-rank order so the
+        # shard's own pool tie-break nests inside the global one).  S3 is
+        # deferred: adapting a candidate that loses the merge would waste
+        # the most expensive stage of the pipeline K times over.
+        shard_sheet_ids: Dict[int, List[int]] = {}
+        shard_ranks: Dict[int, List[int]] = {}
+        for rank, (__, ___, shard, stable_id) in enumerate(selected):
+            shard_sheet_ids.setdefault(shard, []).append(stable_id)
+            shard_ranks.setdefault(shard, []).append(rank)
+        involved = sorted(shard_sheet_ids)
+        target_vectors = self._with_shard(
+            involved[0],
+            lambda predictor: predictor.region_query_vectors(sheet, cells),
+        )
+        scored_lists = self._fan_out(
+            involved,
+            lambda shard: self._with_shard(
+                shard,
+                lambda predictor: predictor.predict_batch_scored(
+                    sheet,
+                    cells,
+                    shard_sheet_ids[shard],
+                    target_vectors=target_vectors,
+                    adapt=False,
+                ),
+            ),
+        )
+
+        # Merge: global best hit per cell by (distance, rank, formula).
+        best: List[Optional[Tuple[Tuple[float, int, int], int, int]]] = [None] * len(
+            cells
+        )
+        for shard, scored in zip(involved, scored_lists):
+            ranks = shard_ranks[shard]
+            ids = shard_sheet_ids[shard]
+            for cell_index, item in enumerate(scored):
+                if item is None:
+                    continue
+                key = (item.distance, ranks[item.sheet_rank], item.formula_index)
+                if best[cell_index] is None or key < best[cell_index][0]:
+                    best[cell_index] = (key, shard, ids[item.sheet_rank])
+
+        # Phase 3 — S3 re-grounding, once per cell, on the winning shard
+        # only.  Over-threshold winners abstain without paying for S3,
+        # exactly like the single-index pipeline.
+        threshold = self._acceptance_threshold()
+        adapt_items: Dict[int, List[Tuple[int, Tuple]]] = {}
+        for cell_index, entry in enumerate(best):
+            if entry is None:
+                continue
+            (distance, __, formula_index), shard, stable_id = entry
+            if distance > threshold:
+                best[cell_index] = None
+                continue
+            adapt_items.setdefault(shard, []).append(
+                (cell_index, (cells[cell_index], stable_id, formula_index, distance))
+            )
+        predictions: List[Optional[Prediction]] = [None] * len(cells)
+        if adapt_items:
+            adapt_shards = sorted(adapt_items)
+            adapted_lists = self._fan_out(
+                adapt_shards,
+                lambda shard: self._with_shard(
+                    shard,
+                    lambda predictor: predictor.adapt_batch(
+                        sheet, [item for __, item in adapt_items[shard]]
+                    ),
+                ),
+            )
+            for shard, adapted in zip(adapt_shards, adapted_lists):
+                for (cell_index, __), prediction in zip(adapt_items[shard], adapted):
+                    predictions[cell_index] = prediction
+        return predictions
+
+    def _top_k_sheets(self) -> int:
+        config = getattr(self._predictors[0], "config", None)
+        top_k = getattr(config, "top_k_sheets", None)
+        if top_k is None:
+            raise TypeError(
+                "sharded serving needs the predictor's config.top_k_sheets to "
+                "size the S1 merge"
+            )
+        return int(top_k)
+
+    def _acceptance_threshold(self) -> float:
+        config = getattr(self._predictors[0], "config", None)
+        threshold = getattr(config, "acceptance_threshold", None)
+        if threshold is None:
+            raise TypeError(
+                "sharded serving needs the predictor's config.acceptance_threshold "
+                "to gate S3 on merged winners"
+            )
+        return float(threshold)
+
+    def _abstain(
+        self,
+        request: RecommendationRequest,
+        reason: AbstainReason,
+        latency_seconds: float = 0.0,
+    ) -> RecommendationResponse:
+        return RecommendationResponse(
+            request=request,
+            workspace=self.name,
+            method=self._predictors[0].name,
+            formula=None,
+            confidence=0.0,
+            abstain_reason=reason,
+            latency_seconds=latency_seconds,
+        )
+
+    # ---------------------------------------------------------------- fan-out
+
+    def _with_shard(self, shard: int, call: Callable[[FormulaPredictor], object]):
+        with self._shard_mutexes[shard]:
+            return call(self._predictors[shard])
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_mutex:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_shards,
+                    thread_name_prefix=f"shard-{self.name}",
+                )
+            return self._executor
+
+    def _fan_out(self, shards: Sequence[int], call: Callable[[int], object]) -> List:
+        """Run ``call(shard)`` on every shard in parallel; first error wins."""
+        results = []
+        for result, error in self._fan_out_collect(shards, call):
+            if error is not None:
+                raise error
+            results.append(result)
+        return results
+
+    def _fan_out_collect(
+        self, shards: Sequence[int], call: Callable[[int], object]
+    ) -> List[Tuple[object, Optional[BaseException]]]:
+        """Run ``call(shard)`` everywhere, collecting (result, error) pairs."""
+        if len(shards) <= 1:
+            outcomes = []
+            for shard in shards:
+                try:
+                    outcomes.append((call(shard), None))
+                except BaseException as error:  # noqa: BLE001 - reported to caller
+                    outcomes.append((None, error))
+            return outcomes
+        executor = self._ensure_executor()
+        futures = [executor.submit(call, shard) for shard in shards]
+        outcomes = []
+        for future in futures:
+            error = future.exception()
+            outcomes.append((None, error) if error else (future.result(), None))
+        return outcomes
+
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent)."""
+        with self._executor_mutex:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def __enter__(self) -> "ShardedWorkspace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -8,6 +8,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.core.interface import FormulaPredictor
 from repro.evaluation.latency import LatencyRecorder
 from repro.evaluation.runner import EvaluationRun, run_method_on_cases
+from repro.service.concurrency import ReadWriteLock
 from repro.extensions.autofill import AutoFillSuggestion, ValueAutoFill
 from repro.extensions.error_detection import FormulaAnomaly, FormulaErrorDetector
 from repro.models.encoder import SheetEncoder
@@ -40,6 +41,14 @@ class Workspace:
     paper's extension applications (value auto-fill, formula error
     detection) are reachable as workspace methods so one corpus handle
     drives every workload.
+
+    The workspace is thread-safe: serving takes a shared (read) lock and
+    corpus mutation takes an exclusive (write) lock on a writer-preferring
+    :class:`~repro.service.concurrency.ReadWriteLock`, so any number of
+    concurrent recommends interleave with ``add_workbooks`` /
+    ``remove_workbook`` without ever observing a half-mutated index.  The
+    predictor-internal caches raced by concurrent reads are individually
+    thread-safe (see ``repro.service.concurrency``).
     """
 
     def __init__(
@@ -54,6 +63,8 @@ class Workspace:
         self._workbooks: Dict[str, Workbook] = {}
         self._fitted = False
         self._incremental = bool(getattr(predictor, "supports_incremental_corpus", False))
+        #: Serving = shared access, corpus mutation = exclusive access.
+        self._rwlock = ReadWriteLock()
         #: Per-request serving latencies (amortized for batched requests).
         self.latency = LatencyRecorder()
         self._corpus_version = 0
@@ -95,28 +106,29 @@ class Workspace:
         workbooks = list(workbooks)
         if not workbooks:
             return
-        seen = set(self._workbooks)
-        for workbook in workbooks:
-            if not isinstance(workbook, Workbook):
-                # Bare sheets would be indexed under the predictor-side label
-                # "<sheet>" but registered here under the sheet's own name,
-                # making them irremovable; the workspace corpus is
-                # workbook-keyed, so wrap sheets in a Workbook first.
-                raise TypeError(
-                    f"workspaces index Workbook objects, got {type(workbook).__name__}; "
-                    "wrap bare sheets in a Workbook"
-                )
-            if workbook.name in seen:
-                raise ValueError(f"workbook {workbook.name!r} is already indexed")
-            seen.add(workbook.name)
-        if self._incremental and self._fitted:
-            self._predictor.add_workbooks(workbooks)
-        else:
-            self._predictor.fit(self.workbooks() + workbooks)
-            self._fitted = True
-        for workbook in workbooks:
-            self._workbooks[workbook.name] = workbook
-        self._corpus_version += 1
+        with self._rwlock.write_lock():
+            seen = set(self._workbooks)
+            for workbook in workbooks:
+                if not isinstance(workbook, Workbook):
+                    # Bare sheets would be indexed under the predictor-side label
+                    # "<sheet>" but registered here under the sheet's own name,
+                    # making them irremovable; the workspace corpus is
+                    # workbook-keyed, so wrap sheets in a Workbook first.
+                    raise TypeError(
+                        f"workspaces index Workbook objects, got {type(workbook).__name__}; "
+                        "wrap bare sheets in a Workbook"
+                    )
+                if workbook.name in seen:
+                    raise ValueError(f"workbook {workbook.name!r} is already indexed")
+                seen.add(workbook.name)
+            if self._incremental and self._fitted:
+                self._predictor.add_workbooks(workbooks)
+            else:
+                self._predictor.fit(self.workbooks() + workbooks)
+                self._fitted = True
+            for workbook in workbooks:
+                self._workbooks[workbook.name] = workbook
+            self._corpus_version += 1
 
     def add_workbook(self, workbook: Workbook) -> None:
         """Index one additional workbook (see :meth:`add_workbooks`)."""
@@ -131,25 +143,26 @@ class Workspace:
         :meth:`add_workbooks`, the workbook stays registered if the
         predictor mutation fails.
         """
-        if workbook_name not in self._workbooks:
-            raise KeyError(workbook_name)
-        if self._incremental and self._fitted:
-            # A registered workbook with zero sheets never reached the
-            # predictor's indexes, so there is nothing to remove there.
-            if len(self._workbooks[workbook_name]):
-                self._predictor.remove_workbook(workbook_name)
-        else:
-            self._predictor.fit(
-                [
-                    workbook
-                    for name, workbook in self._workbooks.items()
-                    if name != workbook_name
-                ]
-            )
-            self._fitted = True
-        workbook = self._workbooks.pop(workbook_name)
-        self._corpus_version += 1
-        return workbook
+        with self._rwlock.write_lock():
+            if workbook_name not in self._workbooks:
+                raise KeyError(workbook_name)
+            if self._incremental and self._fitted:
+                # A registered workbook with zero sheets never reached the
+                # predictor's indexes, so there is nothing to remove there.
+                if len(self._workbooks[workbook_name]):
+                    self._predictor.remove_workbook(workbook_name)
+            else:
+                self._predictor.fit(
+                    [
+                        workbook
+                        for name, workbook in self._workbooks.items()
+                        if name != workbook_name
+                    ]
+                )
+                self._fitted = True
+            workbook = self._workbooks.pop(workbook_name)
+            self._corpus_version += 1
+            return workbook
 
     def _refit(self) -> None:
         self._predictor.fit(self.workbooks())
@@ -158,6 +171,18 @@ class Workspace:
     def _ensure_fitted(self) -> None:
         if not self._fitted:
             self._refit()
+
+    def _ensure_fitted_for_serving(self) -> None:
+        """Fit-before-serve under the write lock (the rare path).
+
+        ``_fitted`` only ever transitions ``False -> True``, so checking it
+        outside the lock is safe: once a serve has seen a fitted predictor
+        no later mutation can unfit it.
+        """
+        if self._fitted or not self._workbooks:
+            return
+        with self._rwlock.write_lock():
+            self._ensure_fitted()
 
     # ---------------------------------------------------------------- serving
 
@@ -180,12 +205,18 @@ class Workspace:
         requests = list(requests)
         if not requests:
             return []
+        self._ensure_fitted_for_serving()
+        with self._rwlock.read_lock():
+            return self._serve_batch_locked(requests)
+
+    def _serve_batch_locked(
+        self, requests: List[RecommendationRequest]
+    ) -> List[RecommendationResponse]:
         if not self._workbooks:
             # Empty-corpus abstains never reach the predictor; recording
             # their ~0 wall clock would skew the latency distribution, so
             # they are answered without a latency sample.
             return [self._abstain(request, AbstainReason.EMPTY_CORPUS) for request in requests]
-        self._ensure_fitted()
 
         # Group request positions by target-sheet identity, preserving the
         # first-seen order of sheets and the request order within a group.
@@ -246,14 +277,15 @@ class Workspace:
 
     def evaluate(self, cases: Sequence, corpus_name: str = "") -> EvaluationRun:
         """Run the evaluation harness on this workspace's fitted predictor."""
-        self._ensure_fitted()
-        return run_method_on_cases(
-            self._predictor,
-            self.workbooks(),
-            cases,
-            corpus_name=corpus_name or self.name,
-            fit=False,
-        )
+        self._ensure_fitted_for_serving()
+        with self._rwlock.read_lock():
+            return run_method_on_cases(
+                self._predictor,
+                self.workbooks(),
+                cases,
+                corpus_name=corpus_name or self.name,
+                fit=False,
+            )
 
     def _require_encoder(self) -> SheetEncoder:
         if self._encoder is None:
@@ -265,7 +297,18 @@ class Workspace:
         return self._encoder
 
     def autofill(self) -> ValueAutoFill:
-        """The value auto-fill extension, fitted on the current corpus."""
+        """The value auto-fill extension, fitted on the current corpus.
+
+        The exclusive lock is taken only when the extension actually needs
+        (re)fitting — the common already-fitted case is a plain read, so
+        extension traffic does not stall concurrent serving.
+        """
+        if self._autofill is not None and self._autofill_version == self._corpus_version:
+            return self._autofill
+        with self._rwlock.write_lock():
+            return self._autofill_ready()
+
+    def _autofill_ready(self) -> ValueAutoFill:
         encoder = self._require_encoder()
         if self._autofill is None:
             self._autofill = ValueAutoFill(encoder)
@@ -278,10 +321,19 @@ class Workspace:
         self, sheet: Sheet, cell: CellAddress
     ) -> Optional[AutoFillSuggestion]:
         """Suggest a *value* for an empty cell (content auto-filling)."""
-        return self.autofill().suggest(sheet, cell)
+        extension = self.autofill()
+        with self._rwlock.read_lock():
+            return extension.suggest(sheet, cell)
 
     def error_detector(self) -> FormulaErrorDetector:
-        """The formula error detector, fitted on the current corpus."""
+        """The formula error detector, fitted on the current corpus
+        (write-locked only for the rare refit, like :meth:`autofill`)."""
+        if self._detector is not None and self._detector_version == self._corpus_version:
+            return self._detector
+        with self._rwlock.write_lock():
+            return self._error_detector_ready()
+
+    def _error_detector_ready(self) -> FormulaErrorDetector:
         encoder = self._require_encoder()
         if self._detector is None:
             self._detector = FormulaErrorDetector(encoder)
@@ -292,4 +344,6 @@ class Workspace:
 
     def audit_sheet(self, sheet: Sheet) -> List[FormulaAnomaly]:
         """Audit a sheet for formulas that disagree with similar sheets."""
-        return self.error_detector().audit(sheet)
+        detector = self.error_detector()
+        with self._rwlock.read_lock():
+            return detector.audit(sheet)

@@ -1,0 +1,231 @@
+"""Invariant checkers for the serving layer.
+
+These functions encode, as executable assertions, the guarantees the
+engine's earlier PRs promised in prose:
+
+* **Serving parity** — two workspaces over the same corpus (e.g. sharded
+  vs unsharded, or mutated vs freshly fitted) answer every request with
+  the same formula, confidence, provenance and abstain reason
+  (:func:`assert_responses_match`, :func:`assert_matches_fresh_fit`).
+* **Tombstone accounting** — after any add/remove history, an
+  Auto-Formula predictor's live bookkeeping, its vector indexes' live
+  counts and its stable-id maps agree, and no search path can ever
+  surface a tombstoned sheet or formula
+  (:func:`assert_tombstone_accounting`).
+* **Provenance consistency** — an accepted response cites a reference
+  workbook that is actually indexed, and the typed response fields are
+  mutually consistent (:func:`assert_response_wellformed`).
+* **Shard bookkeeping** — a sharded workspace's placement maps, global
+  sequence numbers and per-shard predictors tell one coherent story
+  (:func:`assert_sharded_consistent`).
+
+The checkers are *white-box on purpose*: they reach into predictor
+internals (``_reference_sheets``, ``_formula_positions``) because the
+whole point is to catch silent corruption that the public surface would
+mask.  They raise ``AssertionError`` with a descriptive message.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.service.types import RecommendationResponse
+
+#: Response fields that must agree for two servings to count as identical
+#: (latency and workspace identity legitimately differ between replays).
+_COMPARED_FIELDS = ("formula", "confidence", "abstain_reason", "provenance", "method")
+
+
+def response_signature(response: RecommendationResponse):
+    """The comparable content of a response (drops latency/identity)."""
+    return tuple(getattr(response, field) for field in _COMPARED_FIELDS)
+
+
+def assert_responses_match(
+    left: Sequence[RecommendationResponse],
+    right: Sequence[RecommendationResponse],
+    context: str = "",
+) -> None:
+    """Two response streams must be position-wise identical."""
+    prefix = f"{context}: " if context else ""
+    assert len(left) == len(right), (
+        f"{prefix}response streams differ in length: {len(left)} vs {len(right)}"
+    )
+    for position, (a, b) in enumerate(zip(left, right)):
+        sig_a, sig_b = response_signature(a), response_signature(b)
+        assert sig_a == sig_b, (
+            f"{prefix}response {position} diverged:\n  left:  {sig_a}\n  right: {sig_b}"
+        )
+
+
+def assert_response_wellformed(response: RecommendationResponse, workspace) -> None:
+    """Typed-field consistency plus provenance-against-corpus consistency."""
+    assert 0.0 <= response.confidence <= 1.0, (
+        f"confidence {response.confidence} outside [0, 1]"
+    )
+    if response.formula is None:
+        assert response.abstain_reason is not None, (
+            "abstained response carries no abstain_reason"
+        )
+        assert not response.accepted
+    else:
+        assert response.abstain_reason is None, (
+            f"accepted response carries abstain_reason {response.abstain_reason}"
+        )
+        assert response.accepted
+        reference_workbook = response.provenance.get("reference_workbook")
+        assert reference_workbook in workspace.workbook_names, (
+            f"provenance cites {reference_workbook!r}, which is not indexed "
+            f"(indexed: {workspace.workbook_names}) — a stale tombstoned hit"
+        )
+
+
+# ------------------------------------------------------------- tombstones
+
+
+def assert_tombstone_accounting(predictor) -> None:
+    """Audit an Auto-Formula predictor's live/tombstone bookkeeping.
+
+    Verifies that (1) live counts agree between the reference-sheet
+    registry and both vector indexes, (2) every live sheet's recorded
+    physical positions are alive in the stores and every tombstoned
+    sheet's bookkeeping was cleared, and (3) exhaustive searches surface
+    only live sheets/formulas — i.e. no search path can return a
+    tombstoned position.
+    """
+    references = predictor._reference_sheets
+    live_ids = [
+        sheet_id for sheet_id, ref in enumerate(references) if ref is not None
+    ]
+    if predictor.sheet_index is None:
+        assert not live_ids, "fitted sheets but no sheet index"
+        return
+
+    n_live_sheets = len(live_ids)
+    n_live_formulas = sum(len(references[sheet_id].formulas) for sheet_id in live_ids)
+    assert len(predictor.sheet_index) == n_live_sheets, (
+        f"sheet index holds {len(predictor.sheet_index)} live vectors for "
+        f"{n_live_sheets} live sheets"
+    )
+    assert len(predictor.formula_index) == n_live_formulas, (
+        f"formula index holds {len(predictor.formula_index)} live vectors for "
+        f"{n_live_formulas} live formulas"
+    )
+
+    for sheet_id, reference in enumerate(references):
+        sheet_position = predictor._sheet_positions[sheet_id]
+        formula_positions = predictor._formula_positions[sheet_id]
+        if reference is None:
+            assert sheet_position is None and formula_positions is None, (
+                f"removed sheet {sheet_id} still has physical positions"
+            )
+            continue
+        assert sheet_position is not None and formula_positions is not None, (
+            f"live sheet {sheet_id} lost its physical positions"
+        )
+        assert len(formula_positions) == len(reference.formulas), (
+            f"sheet {sheet_id}: {len(formula_positions)} stored positions for "
+            f"{len(reference.formulas)} formulas"
+        )
+
+    # Exhaustive-search audit: every reachable hit must be a live sheet.
+    if n_live_sheets:
+        dimension = predictor.sheet_index.dimension
+        probe = np.zeros((1, dimension), dtype=np.float32)
+        hits = predictor.sheet_index.search_batch(probe, k=n_live_sheets + 8)[0]
+        assert len(hits) == n_live_sheets, (
+            f"exhaustive sheet search returned {len(hits)} hits for "
+            f"{n_live_sheets} live sheets"
+        )
+        for hit in hits:
+            assert references[int(hit.key)] is not None, (
+                f"sheet search surfaced tombstoned sheet {hit.key}"
+            )
+    if n_live_formulas:
+        dimension = predictor.formula_index.dimension
+        probe = np.zeros((1, dimension), dtype=np.float32)
+        hits = predictor.formula_index.search_batch(probe, k=n_live_formulas + 8)[0]
+        assert len(hits) == n_live_formulas, (
+            f"exhaustive formula search returned {len(hits)} hits for "
+            f"{n_live_formulas} live formulas"
+        )
+        for hit in hits:
+            sheet_id, local = hit.key
+            assert references[int(sheet_id)] is not None, (
+                f"formula search surfaced formula of tombstoned sheet {sheet_id}"
+            )
+            assert int(local) < len(references[int(sheet_id)].formulas)
+
+
+def assert_sharded_consistent(sharded) -> None:
+    """Audit a :class:`~repro.service.ShardedWorkspace`'s bookkeeping."""
+    total_sheets = sum(len(workbook) for workbook in sharded.workbooks())
+    assert sum(sharded.shard_sizes()) == total_sheets, (
+        f"shards hold {sum(sharded.shard_sizes())} sheets for a corpus of "
+        f"{total_sheets}"
+    )
+    placed = {
+        name: sorted(entries) for name, entries in sharded._placements.items()
+    }
+    assert set(placed) == set(sharded.workbook_names), (
+        "placement map and workbook registry disagree"
+    )
+    sequences_seen = []
+    for shard, seqs in enumerate(sharded._global_seq):
+        predictor = sharded.predictors[shard]
+        assert predictor.n_reference_sheets == len(seqs), (
+            f"shard {shard}: predictor holds {predictor.n_reference_sheets} live "
+            f"sheets, coordinator expects {len(seqs)}"
+        )
+        assert_tombstone_accounting(predictor)
+        sequences_seen.extend(seqs.values())
+    assert len(sequences_seen) == len(set(sequences_seen)), (
+        "duplicate global sequence numbers across shards"
+    )
+
+
+# ------------------------------------------------------------ fresh-fit parity
+
+
+def assert_matches_fresh_fit(
+    workspace,
+    predictor_factory: Callable[[], object],
+    cases: Sequence,
+    context: str = "",
+) -> None:
+    """A mutated workspace must predict like a fresh fit on its corpus.
+
+    The *equivalent corpus* is the workspace's current workbook list
+    (insertion order, re-adds at the end — exactly what
+    ``workspace.workbooks()`` reports).  A brand-new predictor is fitted
+    on it and compared prediction-by-prediction against the workspace's
+    serving path.
+    """
+    from repro.service.types import RecommendationRequest  # local: avoid cycle
+
+    fresh = predictor_factory()
+    fresh.fit(workspace.workbooks())
+    prefix = f"{context}: " if context else ""
+    for case in cases:
+        expected = fresh.predict(case.target_sheet, case.target_cell)
+        response = workspace.recommend(
+            RecommendationRequest(case.target_sheet, case.target_cell)
+        )
+        if expected is None:
+            assert response.formula is None, (
+                f"{prefix}fresh fit abstains on {case.target_cell.to_a1()}, "
+                f"workspace answered {response.formula!r}"
+            )
+        else:
+            assert response.formula == expected.formula, (
+                f"{prefix}formula diverged on {case.target_cell.to_a1()}: "
+                f"{response.formula!r} vs fresh {expected.formula!r}"
+            )
+            assert response.confidence == expected.confidence, (
+                f"{prefix}confidence diverged on {case.target_cell.to_a1()}"
+            )
+            assert response.provenance == expected.details, (
+                f"{prefix}provenance diverged on {case.target_cell.to_a1()}"
+            )

@@ -1,0 +1,295 @@
+"""Deterministic multi-tenant workload simulation.
+
+A *workload* is a reproducible stream of service operations — workbook
+adds, workbook removals, recommendation batches and evaluation sweeps —
+over one or more tenants, generated entirely from an integer seed.  Two
+calls to :func:`generate_workload` with the same seed produce the same
+tenants, the same synthetic workbooks (shared objects, so two replays of
+one workload serve the *same* sheet instances), the same operation order
+and the same request batches; replaying the stream against any
+workspace implementation therefore produces comparable response streams,
+which is how the invariant suite checks sharded-vs-unsharded parity and
+mutated-vs-fresh-fit parity (see ``repro.testing.invariants``).
+
+The generator never emits an invalid operation: a remove against an
+empty tenant or an add with the pool exhausted is deterministically
+re-drawn as the nearest valid kind, and removed workbooks return to the
+pool so long simulations exercise remove/re-add churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.generator import CorpusGenerator, CorpusSpec
+from repro.corpus.testcases import TestCase, sample_test_cases
+from repro.formula.template import normalize_formula
+from repro.service.types import RecommendationRequest, RecommendationResponse
+from repro.sheet.workbook import Workbook
+
+#: Operation kinds a workload can contain, in weight order.
+OP_KINDS = ("add", "remove", "recommend", "evaluate")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a simulated workload.
+
+    ``op_weights`` are the relative draw probabilities of
+    :data:`OP_KINDS`; invalid draws (removing from an empty tenant,
+    adding with nothing left to add) are re-drawn deterministically, so
+    the realized mix tracks the weights only approximately.  Corpus
+    parameters are deliberately small: simulations are meant to run in a
+    test suite, and small per-tenant corpora also keep the approximate
+    index kinds (IVF, LSH) in their exact-fallback regime, where sharded
+    serving is provably bit-identical to unsharded serving.
+    """
+
+    n_tenants: int = 2
+    n_steps: int = 16
+    op_weights: Tuple[float, float, float, float] = (0.3, 0.15, 0.45, 0.1)
+    #: Per-tenant synthetic corpus shape (see :class:`CorpusSpec`).
+    n_families: int = 2
+    min_copies: int = 2
+    max_copies: int = 3
+    n_singletons: int = 1
+    #: Number of workbooks pre-loaded into every tenant before step 0.
+    initial_workbooks: int = 2
+    #: Cap on recommendation requests drawn per ``recommend`` op.
+    max_recommend_batch: int = 4
+    #: Cap on the per-tenant evaluation case set.
+    max_cases: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_tenants <= 0 or self.n_steps < 0:
+            raise ValueError("n_tenants must be positive and n_steps non-negative")
+        if len(self.op_weights) != len(OP_KINDS) or min(self.op_weights) < 0:
+            raise ValueError(f"op_weights must be {len(OP_KINDS)} non-negative weights")
+        if sum(self.op_weights) <= 0:
+            raise ValueError("op_weights must not all be zero")
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One step of a workload: an operation against one tenant."""
+
+    step: int
+    tenant: str
+    kind: str
+    #: The workbook to index (``kind == "add"``).
+    workbook: Optional[Workbook] = None
+    #: The workbook to drop (``kind == "remove"``).
+    workbook_name: Optional[str] = None
+    #: The requests to serve (``kind in ("recommend", "evaluate")``).
+    cases: Tuple[TestCase, ...] = ()
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated operation stream plus the assets it draws from."""
+
+    seed: int
+    config: WorkloadConfig
+    tenants: Tuple[str, ...]
+    ops: Tuple[WorkloadOp, ...]
+    #: Every workbook a tenant can ever index, in pool order.
+    pools: Dict[str, Tuple[Workbook, ...]]
+    #: The tenant's evaluation case set (targets are blanked copies, so
+    #: they never alias the reference corpus sheets).
+    cases: Dict[str, Tuple[TestCase, ...]]
+
+
+def generate_workload(seed: int, config: Optional[WorkloadConfig] = None) -> Workload:
+    """Generate a deterministic workload from an integer seed."""
+    config = config or WorkloadConfig()
+    rng = np.random.default_rng(seed)
+    tenants = tuple(f"tenant-{index}" for index in range(config.n_tenants))
+
+    pools: Dict[str, Tuple[Workbook, ...]] = {}
+    cases: Dict[str, Tuple[TestCase, ...]] = {}
+    for tenant in tenants:
+        spec = CorpusSpec(
+            name=tenant,
+            n_families=config.n_families,
+            min_copies=config.min_copies,
+            max_copies=config.max_copies,
+            n_singletons=config.n_singletons,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        corpus = CorpusGenerator(seed=int(rng.integers(0, 2**31 - 1))).generate(spec)
+        pools[tenant] = tuple(corpus.workbooks)
+        tenant_cases = sample_test_cases(
+            tenant,
+            corpus.workbooks,
+            max_per_sheet=1,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        cases[tenant] = tuple(tenant_cases[: config.max_cases])
+
+    # Per-tenant mutable simulation state: which pool workbooks are
+    # currently indexed and which are available (removed ones return).
+    available: Dict[str, List[Workbook]] = {
+        tenant: list(pools[tenant]) for tenant in tenants
+    }
+    indexed: Dict[str, List[Workbook]] = {tenant: [] for tenant in tenants}
+
+    ops: List[WorkloadOp] = []
+    step = 0
+
+    def add_op(tenant: str) -> WorkloadOp:
+        workbook = available[tenant].pop(
+            int(rng.integers(len(available[tenant])))
+        )
+        indexed[tenant].append(workbook)
+        return WorkloadOp(step=step, tenant=tenant, kind="add", workbook=workbook)
+
+    for tenant in tenants:
+        for __ in range(min(config.initial_workbooks, len(available[tenant]))):
+            ops.append(add_op(tenant))
+            step += 1
+
+    weights = np.asarray(config.op_weights, dtype=np.float64)
+    weights = weights / weights.sum()
+    total_steps = len(ops) + config.n_steps
+    while step < total_steps:
+        tenant = tenants[int(rng.integers(len(tenants)))]
+        kind = OP_KINDS[int(rng.choice(len(OP_KINDS), p=weights))]
+        if kind == "add" and not available[tenant]:
+            kind = "remove" if indexed[tenant] else "recommend"
+        if kind == "remove" and not indexed[tenant]:
+            kind = "add" if available[tenant] else "recommend"
+        if kind in ("recommend", "evaluate") and not cases[tenant]:
+            # A tenant without sampleable cases still exercises mutation:
+            # prefer an add/remove, else emit an (empty) evaluate no-op.
+            if available[tenant]:
+                kind = "add"
+            elif indexed[tenant]:
+                kind = "remove"
+            else:
+                kind = "evaluate"
+
+        if kind == "add":
+            ops.append(add_op(tenant))
+        elif kind == "remove":
+            workbook = indexed[tenant].pop(int(rng.integers(len(indexed[tenant]))))
+            available[tenant].append(workbook)
+            ops.append(
+                WorkloadOp(
+                    step=step, tenant=tenant, kind="remove", workbook_name=workbook.name
+                )
+            )
+        elif kind == "recommend":
+            batch = int(rng.integers(1, config.max_recommend_batch + 1))
+            chosen = rng.choice(
+                len(cases[tenant]), size=min(batch, len(cases[tenant])), replace=False
+            )
+            ops.append(
+                WorkloadOp(
+                    step=step,
+                    tenant=tenant,
+                    kind="recommend",
+                    cases=tuple(cases[tenant][int(index)] for index in sorted(chosen)),
+                )
+            )
+        else:  # evaluate: the tenant's whole case set, in order
+            ops.append(
+                WorkloadOp(step=step, tenant=tenant, kind="evaluate", cases=cases[tenant])
+            )
+        step += 1
+
+    return Workload(
+        seed=seed,
+        config=config,
+        tenants=tenants,
+        ops=tuple(ops),
+        pools=pools,
+        cases=cases,
+    )
+
+
+# --------------------------------------------------------------------- replay
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one workload op produced when replayed against a workspace."""
+
+    step: int
+    tenant: str
+    kind: str
+    #: Responses of a ``recommend``/``evaluate`` op, in request order.
+    responses: Tuple[RecommendationResponse, ...] = ()
+    #: ``evaluate`` summary: cases served, accepted, exact matches.
+    evaluation: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class ReplayResult:
+    """A full replay: per-tenant workspaces plus the outcome stream."""
+
+    workspaces: Dict[str, object]
+    outcomes: List[StepOutcome] = field(default_factory=list)
+
+    def outcomes_of_kind(self, *kinds: str) -> List[StepOutcome]:
+        """The outcome sub-stream of the given op kinds, in step order."""
+        return [outcome for outcome in self.outcomes if outcome.kind in kinds]
+
+
+def replay_workload(
+    workload: Workload,
+    workspace_factory: Callable[[str], object],
+    after_step: Optional[Callable[[WorkloadOp, object], None]] = None,
+) -> ReplayResult:
+    """Replay a workload against fresh per-tenant workspaces.
+
+    ``workspace_factory`` builds one workspace-like object (anything with
+    ``add_workbook`` / ``remove_workbook`` / ``serve_batch``) per tenant.
+    ``after_step`` is an optional hook — the invariant suite uses it to
+    audit index state after every operation.  Replays are deterministic:
+    the op stream is fixed and serving is synchronous.
+    """
+    workspaces = {tenant: workspace_factory(tenant) for tenant in workload.tenants}
+    result = ReplayResult(workspaces=workspaces)
+    for op in workload.ops:
+        workspace = workspaces[op.tenant]
+        if op.kind == "add":
+            workspace.add_workbook(op.workbook)
+            outcome = StepOutcome(step=op.step, tenant=op.tenant, kind=op.kind)
+        elif op.kind == "remove":
+            workspace.remove_workbook(op.workbook_name)
+            outcome = StepOutcome(step=op.step, tenant=op.tenant, kind=op.kind)
+        else:
+            requests = [
+                RecommendationRequest(case.target_sheet, case.target_cell)
+                for case in op.cases
+            ]
+            responses = tuple(workspace.serve_batch(requests))
+            evaluation = None
+            if op.kind == "evaluate":
+                matches = 0
+                for case, response in zip(op.cases, responses):
+                    if response.formula is not None:
+                        try:
+                            if normalize_formula(response.formula) == case.ground_truth:
+                                matches += 1
+                        except Exception:  # malformed prediction: counts as miss
+                            pass
+                evaluation = {
+                    "cases": len(op.cases),
+                    "accepted": sum(1 for response in responses if response.accepted),
+                    "matched": matches,
+                }
+            outcome = StepOutcome(
+                step=op.step,
+                tenant=op.tenant,
+                kind=op.kind,
+                responses=responses,
+                evaluation=evaluation,
+            )
+        result.outcomes.append(outcome)
+        if after_step is not None:
+            after_step(op, workspace)
+    return result

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,22 @@ from repro.features import FeatureConfig
 from repro.models import ModelConfig, TrainingConfig, train_models
 from repro.sheet import Sheet, Workbook
 from repro.weaksup import generate_training_pairs
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs(request):
+    """Reset the *global* RNGs before every test.
+
+    Library code is written against explicit ``np.random.default_rng``
+    generators, but anything that touches ``random`` or the legacy
+    ``np.random`` global state would otherwise make test outcomes depend
+    on execution order.  Run with ``--repro-seed N`` (registered in the
+    repository-root ``conftest.py``) to reproduce a failure under a
+    specific seed.
+    """
+    seed = request.config.getoption("--repro-seed", 20240521)
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
 
 
 @pytest.fixture(scope="session")

@@ -7,6 +7,7 @@ from repro.ann import ExactIndex, IVFIndex, LSHIndex
 from repro.embedding import HashedSemanticEmbedder
 from repro.formula import extract_template, formula_references, instantiate_template, parse_formula
 from repro.formula.template import normalize_formula, shift_formula
+from repro.formula.tokenizer import TokenType, tokenize
 from repro.nn import L2Normalize
 from repro.nn.losses import pairwise_squared_distances, triplet_loss_and_grad
 from repro.sheet import CellAddress, RangeAddress, Sheet
@@ -40,6 +41,72 @@ def countif_formulas(draw):
 
 
 formula_strategies = st.one_of(aggregation_formulas(), countif_formulas())
+
+
+_FUNCTION_NAMES = ["SUM", "average", "IF", "Countif", "MAX", "CONCAT", "ROUND"]
+_BINARY_OPS = ["+", "-", "*", "/", "^", "&", "=", "<", ">", "<=", ">=", "<>"]
+
+
+@st.composite
+def _number_literals(draw):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return str(draw(st.integers(0, 10_000)))
+    if kind == 1:
+        return repr(
+            draw(st.floats(0.001, 1e6, allow_nan=False, allow_infinity=False))
+        )
+    return f"{draw(st.integers(1, 9))}e{draw(st.integers(0, 6))}"
+
+
+@st.composite
+def _string_literals(draw):
+    text = draw(st.text(st.characters(blacklist_categories=("Cs",)), max_size=8))
+    escaped = text.replace('"', '""')
+    return f'"{escaped}"'
+
+
+@st.composite
+def _cell_tokens(draw):
+    address = draw(cell_addresses).to_a1()
+    if draw(st.booleans()):
+        address = address.lower()
+    return address
+
+
+_atoms = st.one_of(
+    _number_literals(),
+    _string_literals(),
+    st.sampled_from(["TRUE", "FALSE", "true", "False"]),
+    _cell_tokens(),
+    st.builds(lambda r: r.to_a1(), cell_ranges),
+)
+
+
+def _compose(children):
+    """Build compound expressions whose sub-terms are already parseable."""
+
+    @st.composite
+    def compound(draw):
+        kind = draw(st.integers(0, 4))
+        if kind == 0:  # binary op, parenthesized so precedence is explicit
+            op = draw(st.sampled_from(_BINARY_OPS))
+            return f"({draw(children)}{op}{draw(children)})"
+        if kind == 1:  # unary prefix
+            return f"(-{draw(children)})" if draw(st.booleans()) else f"(+{draw(children)})"
+        if kind == 2:  # percent postfix binds to a primary
+            return f"({draw(children)})%"
+        if kind == 3:  # grouping
+            return f"({draw(children)})"
+        name = draw(st.sampled_from(_FUNCTION_NAMES))
+        args = draw(st.lists(children, min_size=0, max_size=3))
+        return f"{name}({','.join(args)})"
+
+    return compound()
+
+
+#: Deeply structured formulas covering every grammar production.
+rich_formulas = st.recursive(_atoms, _compose, max_leaves=12)
 
 
 # ------------------------------------------------------------------ addressing
@@ -98,6 +165,49 @@ class TestFormulaProperties:
     def test_reference_count_matches_template_holes(self, formula):
         template = extract_template(formula)
         assert template.n_parameters == len(formula_references(formula))
+
+
+class TestParserRoundTrip:
+    """parse -> render -> parse is a fixed point of the formula grammar."""
+
+    @given(rich_formulas)
+    @settings(max_examples=200)
+    def test_parse_render_parse_is_fixed_point(self, formula):
+        ast = parse_formula(formula)
+        rendered = ast.to_formula()
+        reparsed = parse_formula(rendered)
+        assert reparsed == ast
+        # And rendering is already canonical after one pass:
+        assert reparsed.to_formula() == rendered
+
+    @given(rich_formulas)
+    @settings(max_examples=100)
+    def test_normalize_is_idempotent_on_rich_formulas(self, formula):
+        normalized = normalize_formula(formula)
+        assert normalize_formula(normalized) == normalized
+
+    @given(rich_formulas)
+    @settings(max_examples=100)
+    def test_tokenize_join_tokenize_is_fixed_point(self, formula):
+        tokens = tokenize(formula)
+        joined = "".join(token.text for token in tokens)
+        retokenized = tokenize(joined)
+        assert [(token.type, token.text) for token in tokens] == [
+            (token.type, token.text) for token in retokenized
+        ]
+        assert tokens[-1].type is TokenType.EOF
+
+    @given(rich_formulas)
+    @settings(max_examples=100)
+    def test_leading_equals_is_optional_and_stripped(self, formula):
+        assert parse_formula(f"={formula}") == parse_formula(formula)
+
+    @given(rich_formulas)
+    @settings(max_examples=100)
+    def test_whitespace_insensitive_between_tokens(self, formula):
+        tokens = tokenize(formula)
+        spaced = " ".join(token.text for token in tokens if token.text)
+        assert parse_formula(spaced) == parse_formula(formula)
 
 
 # -------------------------------------------------------------------- sheet ops

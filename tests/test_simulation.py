@@ -1,0 +1,310 @@
+"""Workload-simulation property suite: the serving layer's invariants.
+
+Drives the deterministic workload generator (``repro.testing``) against
+plain and sharded workspaces and asserts the guarantees the service layer
+documents: sharded/unsharded bit-parity across index kinds and simulator
+seeds, mutated-corpus/fresh-fit parity, tombstone accounting after every
+mutation, and response-provenance consistency.
+"""
+
+import pytest
+
+from repro import AutoFormula, AutoFormulaConfig, ShardedWorkspace, Workspace
+from repro.testing import (
+    WorkloadConfig,
+    assert_matches_fresh_fit,
+    assert_response_wellformed,
+    assert_responses_match,
+    assert_sharded_consistent,
+    assert_tombstone_accounting,
+    generate_workload,
+    replay_workload,
+)
+
+#: The simulator seeds the acceptance invariants are verified across.
+SIMULATOR_SEEDS = (11, 29, 47)
+
+#: Small on purpose: fast, and it keeps IVF/LSH in the exact-fallback
+#: regime where sharded serving is provably bit-identical (see
+#: ``repro.service.sharding``).
+SMALL_WORKLOAD = WorkloadConfig(
+    n_tenants=1,
+    n_steps=8,
+    n_families=2,
+    min_copies=2,
+    max_copies=3,
+    n_singletons=1,
+    initial_workbooks=2,
+    max_recommend_batch=3,
+    max_cases=5,
+)
+
+
+def _config(kind: str) -> AutoFormulaConfig:
+    return AutoFormulaConfig(sheet_index_kind=kind, formula_index_kind=kind)
+
+
+def _signature(workload):
+    """A comparable, object-identity-free rendering of an op stream."""
+    return [
+        (
+            op.step,
+            op.tenant,
+            op.kind,
+            op.workbook.name if op.workbook is not None else op.workbook_name,
+            tuple(
+                (case.sheet_name, case.target_cell.to_a1(), case.ground_truth)
+                for case in op.cases
+            ),
+        )
+        for op in workload.ops
+    ]
+
+
+class TestWorkloadDeterminism:
+    def test_same_seed_same_stream(self):
+        assert _signature(generate_workload(123, SMALL_WORKLOAD)) == _signature(
+            generate_workload(123, SMALL_WORKLOAD)
+        )
+
+    def test_different_seeds_differ(self):
+        signatures = {
+            tuple(map(str, _signature(generate_workload(seed, SMALL_WORKLOAD))))
+            for seed in range(4)
+        }
+        assert len(signatures) > 1
+
+    def test_ops_are_always_applicable(self):
+        # Longer stream, several tenants: adds never duplicate, removes
+        # never miss, every case batch is non-empty unless the tenant
+        # genuinely has no sampleable formulas.
+        workload = generate_workload(5, WorkloadConfig(n_tenants=3, n_steps=40))
+        indexed = {tenant: set() for tenant in workload.tenants}
+        for op in workload.ops:
+            if op.kind == "add":
+                assert op.workbook.name not in indexed[op.tenant]
+                indexed[op.tenant].add(op.workbook.name)
+            elif op.kind == "remove":
+                assert op.workbook_name in indexed[op.tenant]
+                indexed[op.tenant].remove(op.workbook_name)
+            elif op.kind == "recommend":
+                assert op.cases
+
+    def test_replay_is_deterministic(self, trained_encoder):
+        workload = generate_workload(7, SMALL_WORKLOAD)
+
+        def factory(tenant):
+            return Workspace(tenant, AutoFormula(trained_encoder, _config("exact")))
+
+        first = replay_workload(workload, factory)
+        second = replay_workload(workload, factory)
+        for left, right in zip(first.outcomes, second.outcomes):
+            assert_responses_match(
+                left.responses, right.responses, context=f"step {left.step}"
+            )
+            assert left.evaluation == right.evaluation
+
+
+@pytest.mark.parametrize("kind", ["exact", "lsh", "ivf"])
+@pytest.mark.parametrize("seed", SIMULATOR_SEEDS)
+class TestShardedParity:
+    """Sharded serving must be bit-identical to unsharded serving."""
+
+    N_SHARDS = 3
+
+    def test_sharded_matches_unsharded_under_churn(self, trained_encoder, kind, seed):
+        workload = generate_workload(seed, SMALL_WORKLOAD)
+        config = _config(kind)
+
+        plain = replay_workload(
+            workload,
+            lambda tenant: Workspace(tenant, AutoFormula(trained_encoder, config)),
+        )
+
+        def audit(op, workspace):
+            if op.kind in ("add", "remove"):
+                assert_sharded_consistent(workspace)
+
+        sharded = replay_workload(
+            workload,
+            lambda tenant: ShardedWorkspace(
+                tenant,
+                lambda: AutoFormula(trained_encoder, config),
+                self.N_SHARDS,
+            ),
+            after_step=audit,
+        )
+
+        served_steps = 0
+        for left, right in zip(plain.outcomes, sharded.outcomes):
+            assert left.step == right.step and left.kind == right.kind
+            assert_responses_match(
+                left.responses,
+                right.responses,
+                context=f"kind={kind} seed={seed} step={left.step}",
+            )
+            assert left.evaluation == right.evaluation
+            served_steps += bool(left.responses)
+        assert served_steps > 0, "workload never exercised the serving path"
+
+        # Provenance consistency on the final corpus state.
+        for tenant, workspace in sharded.workspaces.items():
+            for case in workload.cases[tenant]:
+                from repro.service import RecommendationRequest
+
+                response = workspace.recommend(
+                    RecommendationRequest(case.target_sheet, case.target_cell)
+                )
+                assert_response_wellformed(response, workspace)
+            workspace.close()
+
+
+@pytest.mark.parametrize("kind", ["exact", "lsh", "ivf"])
+class TestFreshFitParity:
+    """After arbitrary churn, serving equals a fresh fit on the corpus."""
+
+    def test_mutated_workspace_matches_fresh_fit(self, trained_encoder, kind):
+        workload = generate_workload(SIMULATOR_SEEDS[0], SMALL_WORKLOAD)
+        config = _config(kind)
+
+        def audit(op, workspace):
+            if op.kind in ("add", "remove"):
+                assert_tombstone_accounting(workspace.predictor)
+
+        replay = replay_workload(
+            workload,
+            lambda tenant: Workspace(tenant, AutoFormula(trained_encoder, config)),
+            after_step=audit,
+        )
+        for tenant, workspace in replay.workspaces.items():
+            if not len(workspace):
+                continue
+            assert_matches_fresh_fit(
+                workspace,
+                lambda: AutoFormula(trained_encoder, config),
+                workload.cases[tenant],
+                context=f"kind={kind} tenant={tenant}",
+            )
+
+    def test_sharded_workspace_matches_fresh_unsharded_fit(self, trained_encoder, kind):
+        """The acceptance invariant, stated directly: a sharded workspace
+        answers like a fresh *unsharded* fit on the equivalent corpus."""
+        workload = generate_workload(SIMULATOR_SEEDS[1], SMALL_WORKLOAD)
+        config = _config(kind)
+        replay = replay_workload(
+            workload,
+            lambda tenant: ShardedWorkspace(
+                tenant, lambda: AutoFormula(trained_encoder, config), 4
+            ),
+        )
+        for tenant, workspace in replay.workspaces.items():
+            if not len(workspace):
+                continue
+            assert_matches_fresh_fit(
+                workspace,
+                lambda: AutoFormula(trained_encoder, config),
+                workload.cases[tenant],
+                context=f"kind={kind} tenant={tenant} sharded",
+            )
+            workspace.close()
+
+
+@pytest.mark.slow
+class TestLongSimulationStress:
+    """A longer multi-tenant run for the scheduled CI tier."""
+
+    def test_long_churn_keeps_every_invariant(self, trained_encoder):
+        workload = generate_workload(
+            101,
+            WorkloadConfig(
+                n_tenants=2,
+                n_steps=40,
+                n_families=3,
+                min_copies=2,
+                max_copies=3,
+                n_singletons=2,
+                initial_workbooks=2,
+                max_cases=6,
+            ),
+        )
+        config = _config("exact")
+
+        def audit(op, workspace):
+            if op.kind in ("add", "remove"):
+                assert_sharded_consistent(workspace)
+
+        plain = replay_workload(
+            workload,
+            lambda tenant: Workspace(tenant, AutoFormula(trained_encoder, config)),
+        )
+        sharded = replay_workload(
+            workload,
+            lambda tenant: ShardedWorkspace(
+                tenant, lambda: AutoFormula(trained_encoder, config), 4
+            ),
+            after_step=audit,
+        )
+        for left, right in zip(plain.outcomes, sharded.outcomes):
+            assert_responses_match(
+                left.responses, right.responses, context=f"stress step {left.step}"
+            )
+        for tenant, workspace in sharded.workspaces.items():
+            if len(workspace):
+                assert_matches_fresh_fit(
+                    workspace,
+                    lambda: AutoFormula(trained_encoder, config),
+                    workload.cases[tenant],
+                    context=f"stress tenant={tenant}",
+                )
+            workspace.close()
+
+
+class TestInvariantCheckers:
+    """The checkers themselves must catch what they claim to catch."""
+
+    def test_tombstone_accounting_tracks_mutation(self, trained_encoder):
+        workload = generate_workload(3, SMALL_WORKLOAD)
+        tenant = workload.tenants[0]
+        predictor = AutoFormula(trained_encoder, _config("exact"))
+        pool = list(workload.pools[tenant])
+        predictor.fit(pool[:2])
+        assert_tombstone_accounting(predictor)
+        predictor.add_workbooks(pool[2:3])
+        assert_tombstone_accounting(predictor)
+        predictor.remove_workbook(pool[0].name)
+        assert_tombstone_accounting(predictor)
+
+    def test_wellformedness_rejects_stale_provenance(self, trained_encoder):
+        from repro.service import RecommendationRequest, RecommendationResponse
+
+        workload = generate_workload(3, SMALL_WORKLOAD)
+        tenant = workload.tenants[0]
+        workspace = Workspace(tenant, AutoFormula(trained_encoder, _config("exact")))
+        workspace.add_workbooks(workload.pools[tenant][:2])
+        case = workload.cases[tenant][0]
+        forged = RecommendationResponse(
+            request=RecommendationRequest(case.target_sheet, case.target_cell),
+            workspace=tenant,
+            method="Auto-Formula",
+            formula="=SUM(A1:A2)",
+            confidence=0.9,
+            provenance={"reference_workbook": "ghost.xlsx"},
+        )
+        with pytest.raises(AssertionError, match="stale tombstoned hit"):
+            assert_response_wellformed(forged, workspace)
+
+    def test_responses_match_flags_divergence(self, trained_encoder):
+        from repro.service import RecommendationRequest, RecommendationResponse
+
+        workload = generate_workload(3, SMALL_WORKLOAD)
+        tenant = workload.tenants[0]
+        case = workload.cases[tenant][0]
+        request = RecommendationRequest(case.target_sheet, case.target_cell)
+        left = RecommendationResponse(
+            request=request, workspace="a", method="m", formula="=A1", confidence=0.5
+        )
+        right = RecommendationResponse(
+            request=request, workspace="b", method="m", formula="=A2", confidence=0.5
+        )
+        with pytest.raises(AssertionError, match="diverged"):
+            assert_responses_match([left], [right])
