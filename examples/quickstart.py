@@ -29,7 +29,7 @@ from repro import (
     train_models,
 )
 from repro.corpus import sample_test_cases, split_corpus
-from repro.formula import FormulaEvaluator
+from repro.formula import FormulaEngine
 
 
 def train_encoder():
@@ -102,8 +102,10 @@ def main() -> None:
             f"{response.provenance['reference_formula']} @ "
             f"{response.provenance['reference_sheet']}!{response.provenance['reference_cell']}"
         )
+        # Engine-backed evaluation: failures surface as Excel-style error
+        # values (#DIV/0!, #NAME?, ...) rather than exceptions.
         try:
-            value = FormulaEvaluator(case.target_sheet).evaluate_formula(response.formula)
+            value = FormulaEngine(case.target_sheet).evaluate_formula(response.formula)
             print(f"          evaluates to: {value}")
         except Exception:
             pass

@@ -21,7 +21,7 @@ from repro import (
     generate_training_pairs,
     train_models,
 )
-from repro.formula import FormulaEvaluator
+from repro.formula import FormulaEngine, is_error_value
 
 
 def build_survey(name: str, colors, n_responses: int, with_summary_formulas: bool) -> Sheet:
@@ -45,7 +45,7 @@ def build_survey(name: str, colors, n_responses: int, with_summary_formulas: boo
                 (row, 3),
                 formula=f"=COUNTIF(C{first_data_row - 1}:C{last_data_row},C{row + 1})",
             )
-    FormulaEvaluator(sheet).recalculate()
+    FormulaEngine(sheet).recalculate()
     return sheet
 
 
@@ -69,18 +69,42 @@ def main() -> None:
     system.fit([reference])
 
     print("\nRecommendations for the new survey's summary block:")
+    engine = FormulaEngine(target_sheet)
     summary_start = 6 + 31 + 2
+    accepted = []
     for index, color in enumerate(colors):
         target_cell = CellAddress(summary_start + index, 3)
         prediction = system.predict(target_sheet, target_cell)
         if prediction is None:
             print(f"  D{target_cell.row + 1} ({color}): no recommendation")
             continue
-        value = FormulaEvaluator(target_sheet).evaluate_formula(prediction.formula)
+        value = engine.evaluate_formula(prediction.formula)
+        shown = value if is_error_value(value) else f"counts {int(value)} responses"
         print(
             f"  D{target_cell.row + 1} ({color:5s}): {prediction.formula}"
-            f"   -> counts {int(value)} responses   (confidence {prediction.confidence:.2f})"
+            f"   -> {shown}   (confidence {prediction.confidence:.2f})"
         )
+        accepted.append((target_cell, prediction.formula, color))
+
+    # Live editing: accept the recommendations, then change one response and
+    # watch the dependency-graph engine recalculate only the affected counts.
+    print("\nLive edit: respondent 1 changes their answer to Green")
+    for target_cell, formula, __ in accepted:
+        engine.set_formula(target_cell, formula)
+    engine.recalculate()
+
+    def count_of(cell):
+        value = target_sheet.get(cell).value
+        return value if is_error_value(value) else int(value)
+
+    before = {color: count_of(cell) for cell, __, color in accepted}
+    engine.set_value((6, 2), "Green")
+    report = engine.recalculate()
+    print(f"  incremental recalc: {report.total} formulas recomputed")
+    for cell, __, color in accepted:
+        after = count_of(cell)
+        marker = f"  ({before[color]} -> {after})" if after != before[color] else ""
+        print(f"  D{cell.row + 1} ({color:5s}): {after}{marker}")
 
 
 if __name__ == "__main__":

@@ -33,9 +33,13 @@ Serving usage (multi-tenant workspaces with mutable corpora)::
 
 from repro.sheet import Cell, CellAddress, CellStyle, RangeAddress, Sheet, Workbook
 from repro.formula import (
+    ErrorValue,
+    FormulaEngine,
     FormulaEvaluator,
+    RecalcReport,
     extract_template,
     instantiate_template,
+    is_error_value,
     parse_formula,
 )
 from repro.weaksup import generate_training_pairs
@@ -65,6 +69,10 @@ __all__ = [
     "Sheet",
     "Workbook",
     "FormulaEvaluator",
+    "FormulaEngine",
+    "RecalcReport",
+    "ErrorValue",
+    "is_error_value",
     "parse_formula",
     "extract_template",
     "instantiate_template",

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.corpus import value_pools as pools
-from repro.formula.evaluator import FormulaEvaluator
+from repro.formula.engine import FormulaEngine
 from repro.sheet.addressing import CellAddress, column_index_to_letters
 from repro.sheet.cell import Cell
 from repro.sheet.sheet import Sheet
@@ -107,7 +107,10 @@ class WorkbookTemplate:
             workbook.add_sheet(Sheet(sheet_name))
         self.fill_workbook(workbook, rng, n_rows)
         for sheet in workbook:
-            FormulaEvaluator(sheet).recalculate()
+            # Engine-backed recalculation: every formula commits a value
+            # (error values included), so generated corpora never carry
+            # silently-stale formula cells.
+            FormulaEngine(sheet).recalculate()
         return workbook
 
     def row_jitter(self) -> int:

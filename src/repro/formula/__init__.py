@@ -6,6 +6,11 @@ on: a tokenizer and recursive-descent parser producing an AST, formula
 instantiation used by prediction step S3, an evaluator with a library of
 common spreadsheet functions, and the classification utilities used by the
 sensitivity analyses (formula complexity and formula type, Figures 10-11).
+
+Evaluation is backed by :class:`~repro.formula.engine.FormulaEngine`, an
+incremental dependency-graph recalculation engine with Excel-style error
+values (``repro.formula.errors``); :class:`FormulaEvaluator` is the thin
+compatibility facade over it.
 """
 
 from repro.formula.tokenizer import Token, TokenType, tokenize, FormulaSyntaxError
@@ -30,6 +35,17 @@ from repro.formula.template import (
     formula_references,
     shift_formula,
 )
+from repro.formula.errors import (
+    ALL_ERROR_VALUES,
+    CYCLE_ERROR,
+    DIV0_ERROR,
+    ErrorValue,
+    NAME_ERROR,
+    REF_ERROR,
+    VALUE_ERROR,
+    is_error_value,
+)
+from repro.formula.engine import FormulaEngine, RecalcReport
 from repro.formula.evaluator import FormulaEvaluator, EvaluationError
 from repro.formula.classify import (
     FormulaCategory,
@@ -63,6 +79,16 @@ __all__ = [
     "shift_formula",
     "FormulaEvaluator",
     "EvaluationError",
+    "FormulaEngine",
+    "RecalcReport",
+    "ErrorValue",
+    "is_error_value",
+    "ALL_ERROR_VALUES",
+    "DIV0_ERROR",
+    "REF_ERROR",
+    "CYCLE_ERROR",
+    "VALUE_ERROR",
+    "NAME_ERROR",
     "FormulaCategory",
     "classify_formula",
     "formula_complexity",

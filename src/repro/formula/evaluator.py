@@ -1,32 +1,26 @@
 """Formula evaluator over a :class:`~repro.sheet.Sheet`.
 
 Evaluation is not required for the prediction algorithm itself, but it is a
-core substrate of the reproduction: the synthetic corpus generator uses it to
-fill in cached formula values, the examples use it to show recommended
+core substrate of the reproduction: the synthetic corpus generator uses it
+to fill in cached formula values, the examples use it to show recommended
 formulas computing real results, and tests use it to check that predicted
 formulas are semantically sensible, not just textually equal.
+
+:class:`FormulaEvaluator` is a thin compatibility facade over the
+incremental :class:`~repro.formula.engine.FormulaEngine`: the engine
+tracks the sheet's mutation version and a dependency graph, so repeated
+evaluations against an edited sheet always see current values (the seed
+evaluator's never-invalidated cache is gone), and ``recalculate()``
+reports errors as Excel-style error values written into the cells instead
+of silently keeping stale ones.  The facade keeps the historical
+exception-based contract for *direct* evaluation calls: a top-level
+error value raises :class:`EvaluationError`.
 """
 
 from __future__ import annotations
 
-import numbers
-from typing import Dict, Optional, Set
-
-from repro.formula.ast_nodes import (
-    ASTNode,
-    BinaryOp,
-    BooleanLiteral,
-    CellReference,
-    FunctionCall,
-    Grouping,
-    NumberLiteral,
-    RangeReference,
-    StringLiteral,
-    UnaryOp,
-)
-from repro.formula.functions import BUILTIN_FUNCTIONS, FunctionError, _coerce_number
-from repro.formula.parser import parse_formula
-from repro.sheet.addressing import CellAddress
+from repro.formula.engine import FormulaEngine, RecalcReport
+from repro.formula.errors import is_error_value
 from repro.sheet.sheet import Sheet
 
 
@@ -38,173 +32,52 @@ class FormulaEvaluator:
     """Evaluates formulas against a sheet, following cell references.
 
     Referenced cells that themselves contain formulas are evaluated
-    recursively (with cycle detection).  Results are cached per evaluator
-    instance.
+    recursively (with cycle detection) by the backing
+    :class:`~repro.formula.engine.FormulaEngine`.  Unlike the seed
+    implementation, results are never served stale: the engine
+    re-synchronizes against the sheet's mutation version, so evaluating,
+    editing the sheet, and evaluating again returns post-edit values.
     """
 
     def __init__(self, sheet: Sheet, max_depth: int = 64) -> None:
-        self._sheet = sheet
-        self._max_depth = max_depth
-        self._cache: Dict[CellAddress, object] = {}
+        self._engine = FormulaEngine(sheet, max_depth=max_depth)
+
+    @property
+    def engine(self) -> FormulaEngine:
+        """The backing recalculation engine (for incremental editing)."""
+        return self._engine
 
     # ------------------------------------------------------------------ public
 
     def evaluate_formula(self, formula: str) -> object:
-        """Evaluate a formula string in the context of the sheet."""
-        ast = parse_formula(formula)
-        return self._evaluate_node(ast, visiting=set(), depth=0)
+        """Evaluate a formula string in the context of the sheet.
+
+        Raises :class:`EvaluationError` if the result is an error value
+        (division by zero, unknown function, circular reference, ...).
+        """
+        return self._raise_on_error(self._engine.evaluate_formula(formula), formula)
 
     def evaluate_cell(self, address) -> object:
         """Evaluate the cell at ``address`` (its formula, or its stored value)."""
-        addr = address if isinstance(address, CellAddress) else CellAddress.from_a1(str(address))
-        return self._cell_value(addr, visiting=set(), depth=0)
+        return self._raise_on_error(
+            self._engine.evaluate_cell(address), str(address)
+        )
 
-    def recalculate(self) -> int:
-        """Evaluate every formula cell, writing cached values back to the sheet.
+    def recalculate(self) -> RecalcReport:
+        """Evaluate every stale formula cell, writing values back to the sheet.
 
-        Returns the number of formula cells successfully recalculated.
-        Formulas that fail to evaluate keep their previous cached value.
+        Returns a :class:`~repro.formula.engine.RecalcReport` counting the
+        formulas that committed proper values (``recalculated``) and those
+        that committed error values (``errored``).  Failed formulas no
+        longer keep their previous cached value: the error value is
+        written into the cell and propagates to dependent formulas.
         """
-        updated = 0
-        for addr, cell in self._sheet.formula_cells():
-            try:
-                value = self.evaluate_formula(cell.formula or "")
-            except (EvaluationError, FunctionError):
-                continue
-            cell.value = value
-            updated += 1
-        return updated
+        return self._engine.recalculate()
 
-    # ----------------------------------------------------------------- internal
+    # ---------------------------------------------------------------- internal
 
-    def _cell_value(self, address: CellAddress, visiting: Set[CellAddress], depth: int) -> object:
-        if address in self._cache:
-            return self._cache[address]
-        if address in visiting:
-            raise EvaluationError(f"circular reference involving {address.to_a1()}")
-        cell = self._sheet.get(address)
-        if cell.has_formula:
-            if depth >= self._max_depth:
-                raise EvaluationError("maximum evaluation depth exceeded")
-            visiting = visiting | {address}
-            ast = parse_formula(cell.formula or "")
-            value = self._evaluate_node(ast, visiting=visiting, depth=depth + 1)
-        else:
-            value = cell.value
-        self._cache[address] = value
+    @staticmethod
+    def _raise_on_error(value: object, context: str) -> object:
+        if is_error_value(value):
+            raise EvaluationError(f"formula {context!r} evaluated to {value}")
         return value
-
-    def _evaluate_node(self, node: ASTNode, visiting: Set[CellAddress], depth: int) -> object:
-        if isinstance(node, NumberLiteral):
-            return node.value
-        if isinstance(node, StringLiteral):
-            return node.value
-        if isinstance(node, BooleanLiteral):
-            return node.value
-        if isinstance(node, Grouping):
-            return self._evaluate_node(node.inner, visiting, depth)
-        if isinstance(node, CellReference):
-            return self._cell_value(node.address, visiting, depth)
-        if isinstance(node, RangeReference):
-            cell_range = node.range
-            if cell_range.n_cols == 1 or cell_range.n_rows == 1:
-                return [
-                    self._cell_value(addr, visiting, depth) for addr in cell_range.cells()
-                ]
-            # Two-dimensional ranges evaluate to a list of rows so lookup
-            # functions (VLOOKUP / INDEX / MATCH) see the table structure.
-            return [
-                [
-                    self._cell_value(CellAddress(row, col), visiting, depth)
-                    for col in range(cell_range.start.col, cell_range.end.col + 1)
-                ]
-                for row in range(cell_range.start.row, cell_range.end.row + 1)
-            ]
-        if isinstance(node, UnaryOp):
-            operand = self._evaluate_node(node.operand, visiting, depth)
-            if node.op == "-":
-                return -_coerce_number(operand)
-            if node.op == "+":
-                return _coerce_number(operand)
-            if node.op == "%":
-                return _coerce_number(operand) / 100.0
-            raise EvaluationError(f"unknown unary operator {node.op!r}")
-        if isinstance(node, BinaryOp):
-            return self._evaluate_binary(node, visiting, depth)
-        if isinstance(node, FunctionCall):
-            return self._evaluate_call(node, visiting, depth)
-        raise EvaluationError(f"cannot evaluate node {node!r}")
-
-    def _evaluate_binary(self, node: BinaryOp, visiting: Set[CellAddress], depth: int) -> object:
-        left = self._evaluate_node(node.left, visiting, depth)
-        right = self._evaluate_node(node.right, visiting, depth)
-        op = node.op
-        if op == "&":
-            return self._as_text(left) + self._as_text(right)
-        if op in ("=", "<>", "<", "<=", ">", ">="):
-            return self._compare(op, left, right)
-        left_number = _coerce_number(left)
-        right_number = _coerce_number(right)
-        if op == "+":
-            return left_number + right_number
-        if op == "-":
-            return left_number - right_number
-        if op == "*":
-            return left_number * right_number
-        if op == "/":
-            if right_number == 0:
-                raise EvaluationError("division by zero")
-            return left_number / right_number
-        if op == "^":
-            return left_number ** right_number
-        raise EvaluationError(f"unknown operator {op!r}")
-
-    def _evaluate_call(self, node: FunctionCall, visiting: Set[CellAddress], depth: int) -> object:
-        name = node.name
-        if name == "IFERROR":
-            if not 1 <= len(node.args) <= 2:
-                raise EvaluationError("IFERROR takes one or two arguments")
-            try:
-                return self._evaluate_node(node.args[0], visiting, depth)
-            except (EvaluationError, FunctionError, ZeroDivisionError):
-                if len(node.args) == 2:
-                    return self._evaluate_node(node.args[1], visiting, depth)
-                return ""
-        function = BUILTIN_FUNCTIONS.get(name)
-        if function is None:
-            raise EvaluationError(f"unknown function {name!r}")
-        args = [self._evaluate_node(arg, visiting, depth) for arg in node.args]
-        try:
-            return function(*args)
-        except FunctionError:
-            raise
-        except (TypeError, ValueError, ZeroDivisionError) as exc:
-            raise EvaluationError(f"error evaluating {name}: {exc}") from exc
-
-    @staticmethod
-    def _as_text(value) -> str:
-        if value is None:
-            return ""
-        if isinstance(value, float) and value.is_integer():
-            return str(int(value))
-        return str(value)
-
-    @staticmethod
-    def _compare(op: str, left, right) -> bool:
-        if isinstance(left, str) or isinstance(right, str):
-            left_cmp: object = str(left).lower() if left is not None else ""
-            right_cmp: object = str(right).lower() if right is not None else ""
-        else:
-            left_cmp = _coerce_number(left)
-            right_cmp = _coerce_number(right)
-        if op == "=":
-            return left_cmp == right_cmp
-        if op == "<>":
-            return left_cmp != right_cmp
-        if op == "<":
-            return left_cmp < right_cmp  # type: ignore[operator]
-        if op == "<=":
-            return left_cmp <= right_cmp  # type: ignore[operator]
-        if op == ">":
-            return left_cmp > right_cmp  # type: ignore[operator]
-        return left_cmp >= right_cmp  # type: ignore[operator]

@@ -23,7 +23,18 @@ from typing import Callable, Dict, Iterable, List, Sequence
 
 
 class FunctionError(ValueError):
-    """Raised when a built-in function is applied to invalid arguments."""
+    """Raised when a built-in function is applied to invalid arguments.
+
+    ``error_code`` names the Excel-style error value the failure maps to
+    when evaluation is value-based (see ``repro.formula.errors``); the
+    default ``#VALUE!`` covers type/argument misuse, while empty-set
+    aggregations and zero divisors carry ``#DIV/0!`` like real
+    spreadsheets.
+    """
+
+    def __init__(self, message: str, error_code: str = "#VALUE!") -> None:
+        super().__init__(message)
+        self.error_code = error_code
 
 
 # --------------------------------------------------------------------- helpers
@@ -132,7 +143,7 @@ def fn_sum(*args) -> float:
 def fn_average(*args) -> float:
     values = _numeric_values(args)
     if not values:
-        raise FunctionError("AVERAGE of no numeric values")
+        raise FunctionError("AVERAGE of no numeric values", error_code="#DIV/0!")
     return float(sum(values) / len(values))
 
 
@@ -161,7 +172,7 @@ def fn_min(*args) -> float:
 def fn_median(*args) -> float:
     values = sorted(_numeric_values(args))
     if not values:
-        raise FunctionError("MEDIAN of no numeric values")
+        raise FunctionError("MEDIAN of no numeric values", error_code="#DIV/0!")
     middle = len(values) // 2
     if len(values) % 2:
         return values[middle]
@@ -178,7 +189,9 @@ def fn_product(*args) -> float:
 def fn_stdev(*args) -> float:
     values = _numeric_values(args)
     if len(values) < 2:
-        raise FunctionError("STDEV requires at least two numeric values")
+        raise FunctionError(
+            "STDEV requires at least two numeric values", error_code="#DIV/0!"
+        )
     mean = sum(values) / len(values)
     variance = sum((value - mean) ** 2 for value in values) / (len(values) - 1)
     return math.sqrt(variance)
@@ -187,7 +200,9 @@ def fn_stdev(*args) -> float:
 def fn_var(*args) -> float:
     values = _numeric_values(args)
     if len(values) < 2:
-        raise FunctionError("VAR requires at least two numeric values")
+        raise FunctionError(
+            "VAR requires at least two numeric values", error_code="#DIV/0!"
+        )
     mean = sum(values) / len(values)
     return sum((value - mean) ** 2 for value in values) / (len(values) - 1)
 
@@ -226,7 +241,7 @@ def fn_averageif(values, criterion, avg_values=None) -> float:
         and not isinstance(out, bool)
     ]
     if not selected:
-        raise FunctionError("AVERAGEIF matched no numeric values")
+        raise FunctionError("AVERAGEIF matched no numeric values", error_code="#DIV/0!")
     return sum(selected) / len(selected)
 
 
@@ -399,7 +414,7 @@ def fn_power(base, exponent) -> float:
 def fn_mod(value, divisor) -> float:
     divisor_value = _coerce_number(divisor)
     if divisor_value == 0:
-        raise FunctionError("MOD by zero")
+        raise FunctionError("MOD by zero", error_code="#DIV/0!")
     return math.fmod(_coerce_number(value), divisor_value)
 
 

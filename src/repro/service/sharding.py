@@ -51,7 +51,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.interface import FormulaPredictor, Prediction
 from repro.evaluation.latency import LatencyRecorder
+from repro.formula.engine import FormulaEngine, RecalcReport
 from repro.service.concurrency import ReadWriteLock
+from repro.service.workspace import drop_engines, require_one_edit_operand, sheet_engine
+from repro.sheet.sheet import AddressLike
 from repro.service.types import (
     AbstainReason,
     RecommendationRequest,
@@ -139,6 +142,9 @@ class ShardedWorkspace:
         #: exactly like a single index's stable argsort.
         self._global_seq: List[Dict[int, int]] = [{} for __ in range(n_shards)]
         self._next_seq = 0
+        #: Per-sheet recalculation engines for :meth:`edit_cell`, keyed by
+        #: (workbook name, sheet name); dropped when the workbook leaves.
+        self._engines: Dict[Tuple[str, str], FormulaEngine] = {}
         #: Per-request serving latencies (amortized for batched requests).
         self.latency = LatencyRecorder()
 
@@ -183,73 +189,76 @@ class ShardedWorkspace:
         if not workbooks:
             return
         with self._rwlock.write_lock():
-            seen = set(self._workbooks)
-            for workbook in workbooks:
-                if not isinstance(workbook, Workbook):
-                    raise TypeError(
-                        f"workspaces index Workbook objects, got {type(workbook).__name__}; "
-                        "wrap bare sheets in a Workbook"
-                    )
-                if workbook.name in seen:
-                    raise ValueError(f"workbook {workbook.name!r} is already indexed")
-                seen.add(workbook.name)
+            self._add_workbooks_locked(workbooks)
 
-            # Plan: per-shard sub-workbooks plus, for every sheet, the
-            # (shard, offset-in-shard-batch, global sequence) triple that
-            # will become its bookkeeping entry once the shards commit.
-            sub_workbooks: Dict[int, List[Workbook]] = {}
-            sub_by_key: Dict[Tuple[int, str], Workbook] = {}
-            shard_offsets: Dict[int, int] = {}
-            plan: Dict[str, List[Tuple[int, int, int]]] = {}
-            assigned = 0
-            for workbook in workbooks:
-                entries: List[Tuple[int, int, int]] = []
-                for sheet in workbook:
-                    shard = shard_of_sheet(workbook.name, sheet.name, self.n_shards)
-                    sub = sub_by_key.get((shard, workbook.name))
-                    if sub is None:
-                        sub = Workbook(workbook.name, workbook.last_modified)
-                        sub_by_key[(shard, workbook.name)] = sub
-                        sub_workbooks.setdefault(shard, []).append(sub)
-                    sub.add_sheet(sheet)
-                    offset = shard_offsets.get(shard, 0)
-                    shard_offsets[shard] = offset + 1
-                    entries.append((shard, offset, self._next_seq + assigned))
-                    assigned += 1
-                plan[workbook.name] = entries
+    def _add_workbooks_locked(self, workbooks: List[Workbook]) -> None:
+        seen = set(self._workbooks)
+        for workbook in workbooks:
+            if not isinstance(workbook, Workbook):
+                raise TypeError(
+                    f"workspaces index Workbook objects, got {type(workbook).__name__}; "
+                    "wrap bare sheets in a Workbook"
+                )
+            if workbook.name in seen:
+                raise ValueError(f"workbook {workbook.name!r} is already indexed")
+            seen.add(workbook.name)
 
-            shards = sorted(sub_workbooks)
-            base = {
-                shard: self._predictors[shard].sheet_id_watermark for shard in shards
-            }
-            outcomes = self._fan_out_collect(
-                shards,
-                lambda shard: self._predictors[shard].add_workbooks(sub_workbooks[shard]),
-            )
-            failed = [shard for shard, (__, error) in zip(shards, outcomes) if error]
-            if failed:
-                # Roll every shard back — including the failed ones, whose
-                # adds may have indexed a prefix of their sub-workbooks
-                # before raising.  Rollback is best-effort: a sub-workbook
-                # the failed shard never reached raises KeyError, which is
-                # exactly the desired no-op.
-                for shard in shards:
-                    for sub in sub_workbooks[shard]:
-                        try:
-                            self._predictors[shard].remove_workbook(sub.name)
-                        except KeyError:
-                            pass
-                raise outcomes[shards.index(failed[0])][1]
+        # Plan: per-shard sub-workbooks plus, for every sheet, the
+        # (shard, offset-in-shard-batch, global sequence) triple that
+        # will become its bookkeeping entry once the shards commit.
+        sub_workbooks: Dict[int, List[Workbook]] = {}
+        sub_by_key: Dict[Tuple[int, str], Workbook] = {}
+        shard_offsets: Dict[int, int] = {}
+        plan: Dict[str, List[Tuple[int, int, int]]] = {}
+        assigned = 0
+        for workbook in workbooks:
+            entries: List[Tuple[int, int, int]] = []
+            for sheet in workbook:
+                shard = shard_of_sheet(workbook.name, sheet.name, self.n_shards)
+                sub = sub_by_key.get((shard, workbook.name))
+                if sub is None:
+                    sub = Workbook(workbook.name, workbook.last_modified)
+                    sub_by_key[(shard, workbook.name)] = sub
+                    sub_workbooks.setdefault(shard, []).append(sub)
+                sub.add_sheet(sheet)
+                offset = shard_offsets.get(shard, 0)
+                shard_offsets[shard] = offset + 1
+                entries.append((shard, offset, self._next_seq + assigned))
+                assigned += 1
+            plan[workbook.name] = entries
 
-            for workbook in workbooks:
-                self._workbooks[workbook.name] = workbook
-                placement: List[Tuple[int, int]] = []
-                for shard, offset, sequence in plan[workbook.name]:
-                    stable_id = base[shard] + offset
-                    self._global_seq[shard][stable_id] = sequence
-                    placement.append((shard, stable_id))
-                self._placements[workbook.name] = placement
-            self._next_seq += assigned
+        shards = sorted(sub_workbooks)
+        base = {
+            shard: self._predictors[shard].sheet_id_watermark for shard in shards
+        }
+        outcomes = self._fan_out_collect(
+            shards,
+            lambda shard: self._predictors[shard].add_workbooks(sub_workbooks[shard]),
+        )
+        failed = [shard for shard, (__, error) in zip(shards, outcomes) if error]
+        if failed:
+            # Roll every shard back — including the failed ones, whose
+            # adds may have indexed a prefix of their sub-workbooks
+            # before raising.  Rollback is best-effort: a sub-workbook
+            # the failed shard never reached raises KeyError, which is
+            # exactly the desired no-op.
+            for shard in shards:
+                for sub in sub_workbooks[shard]:
+                    try:
+                        self._predictors[shard].remove_workbook(sub.name)
+                    except KeyError:
+                        pass
+            raise outcomes[shards.index(failed[0])][1]
+
+        for workbook in workbooks:
+            self._workbooks[workbook.name] = workbook
+            placement: List[Tuple[int, int]] = []
+            for shard, offset, sequence in plan[workbook.name]:
+                stable_id = base[shard] + offset
+                self._global_seq[shard][stable_id] = sequence
+                placement.append((shard, stable_id))
+            self._placements[workbook.name] = placement
+        self._next_seq += assigned
 
     def add_workbook(self, workbook: Workbook) -> None:
         """Index one additional workbook (see :meth:`add_workbooks`)."""
@@ -265,21 +274,76 @@ class ShardedWorkspace:
         skipped on the next attempt.
         """
         with self._rwlock.write_lock():
+            return self._remove_workbook_locked(workbook_name)
+
+    def _remove_workbook_locked(
+        self, workbook_name: str, evict_engines: bool = True
+    ) -> Workbook:
+        if workbook_name not in self._workbooks:
+            raise KeyError(workbook_name)
+        placement = self._placements[workbook_name]
+        for shard in sorted({shard for shard, __ in placement}):
+            with self._shard_mutexes[shard]:
+                try:
+                    self._predictors[shard].remove_workbook(workbook_name)
+                except KeyError:
+                    # Already dropped by a previous, partially-failed
+                    # attempt: removal is idempotent per shard.
+                    pass
+        del self._placements[workbook_name]
+        for shard, stable_id in placement:
+            del self._global_seq[shard][stable_id]
+        if evict_engines:
+            drop_engines(self._engines, workbook_name)
+        return self._workbooks.pop(workbook_name)
+
+    def edit_cell(
+        self,
+        workbook_name: str,
+        sheet_name: str,
+        address: AddressLike,
+        value=None,
+        formula: Optional[str] = None,
+    ) -> RecalcReport:
+        """Edit one cell of an indexed sheet and re-route the workbook.
+
+        Semantics mirror :meth:`Workspace.edit_cell`: the edit goes through
+        the sheet's cached :class:`~repro.formula.engine.FormulaEngine`
+        (incremental recalculation), then the workbook's sheets are dropped
+        from their shards and re-added, which re-assigns global sequence
+        numbers at the end of the corpus order — exactly the remove +
+        re-add ordering the unsharded workspace produces, so sharded and
+        plain servings stay bit-identical under edit streams.  Raises
+        ``ValueError`` unless exactly one of ``value`` / ``formula`` is
+        given; if the re-add fails after the remove committed, the
+        workbook ends up un-indexed and a ``RuntimeError`` says so.
+        """
+        require_one_edit_operand(value, formula)
+        with self._rwlock.write_lock():
             if workbook_name not in self._workbooks:
                 raise KeyError(workbook_name)
-            placement = self._placements[workbook_name]
-            for shard in sorted({shard for shard, __ in placement}):
-                with self._shard_mutexes[shard]:
-                    try:
-                        self._predictors[shard].remove_workbook(workbook_name)
-                    except KeyError:
-                        # Already dropped by a previous, partially-failed
-                        # attempt: removal is idempotent per shard.
-                        pass
-            del self._placements[workbook_name]
-            for shard, stable_id in placement:
-                del self._global_seq[shard][stable_id]
-            return self._workbooks.pop(workbook_name)
+            workbook = self._workbooks[workbook_name]
+            sheet = workbook.get_sheet(sheet_name)
+            engine = sheet_engine(self._engines, workbook_name, sheet)
+            if formula is not None:
+                engine.set_formula(address, formula)
+            else:
+                engine.set_value(address, value)
+            report = engine.recalculate()
+            self._remove_workbook_locked(workbook_name, evict_engines=False)
+            try:
+                self._add_workbooks_locked([workbook])
+            except Exception as error:
+                # The shards rolled the add back and the remove already
+                # committed, so the corpus is consistent but no longer
+                # contains the workbook; drop its cached engines and say
+                # so instead of failing silently.
+                drop_engines(self._engines, workbook_name)
+                raise RuntimeError(
+                    f"re-indexing {workbook_name!r} after an edit failed; the "
+                    "workbook is no longer indexed — add it again to retry"
+                ) from error
+            return report
 
     # ----------------------------------------------------------------- serving
 

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.interface import FormulaPredictor
 from repro.evaluation.latency import LatencyRecorder
 from repro.evaluation.runner import EvaluationRun, run_method_on_cases
+from repro.formula.engine import FormulaEngine, RecalcReport
 from repro.service.concurrency import ReadWriteLock
 from repro.extensions.autofill import AutoFillSuggestion, ValueAutoFill
 from repro.extensions.error_detection import FormulaAnomaly, FormulaErrorDetector
@@ -18,8 +19,46 @@ from repro.service.types import (
     RecommendationResponse,
 )
 from repro.sheet.addressing import CellAddress
-from repro.sheet.sheet import Sheet
+from repro.sheet.sheet import AddressLike, Sheet
 from repro.sheet.workbook import Workbook
+
+
+def sheet_engine(
+    cache: Dict[Tuple[str, str], FormulaEngine], workbook_name: str, sheet: Sheet
+) -> FormulaEngine:
+    """Get (or build and cache) the recalculation engine for an indexed sheet.
+
+    Shared by :class:`Workspace` and
+    :class:`~repro.service.sharding.ShardedWorkspace` so the staleness
+    rule — rebuild when the cached engine no longer points at this exact
+    sheet object — lives in one place.
+    """
+    key = (workbook_name, sheet.name)
+    engine = cache.get(key)
+    if engine is None or engine.sheet is not sheet:
+        engine = FormulaEngine(sheet)
+        cache[key] = engine
+    return engine
+
+
+def drop_engines(
+    cache: Dict[Tuple[str, str], FormulaEngine], workbook_name: str
+) -> None:
+    """Evict a workbook's cached engines (counterpart of :func:`sheet_engine`)."""
+    for key in [key for key in cache if key[0] == workbook_name]:
+        del cache[key]
+
+
+def require_one_edit_operand(value, formula) -> None:
+    """An edit must say what to write; a defaulted-``None`` value would
+    silently blank the cell.  Deliberate blanking is ``value=""``."""
+    if value is None and formula is None:
+        raise ValueError(
+            "edit_cell needs value=... or formula=...; to blank a cell "
+            'explicitly, pass value=""'
+        )
+    if value is not None and formula is not None:
+        raise ValueError("edit_cell takes either value= or formula=, not both")
 
 
 class Workspace:
@@ -68,6 +107,11 @@ class Workspace:
         #: Per-request serving latencies (amortized for batched requests).
         self.latency = LatencyRecorder()
         self._corpus_version = 0
+        #: Per-sheet recalculation engines, built lazily by :meth:`edit_cell`
+        #: and kept across edits so repeated edits to one sheet stay
+        #: O(dirty subgraph).  Keyed by (workbook name, sheet name); an
+        #: entry is dropped when its workbook leaves the corpus.
+        self._engines: Dict[Tuple[str, str], FormulaEngine] = {}
         self._autofill: Optional[ValueAutoFill] = None
         self._autofill_version = -1
         self._detector: Optional[FormulaErrorDetector] = None
@@ -161,8 +205,66 @@ class Workspace:
                 )
                 self._fitted = True
             workbook = self._workbooks.pop(workbook_name)
+            drop_engines(self._engines, workbook_name)
             self._corpus_version += 1
             return workbook
+
+    def edit_cell(
+        self,
+        workbook_name: str,
+        sheet_name: str,
+        address: AddressLike,
+        value=None,
+        formula: Optional[str] = None,
+    ) -> RecalcReport:
+        """Edit one cell of an indexed sheet and re-serve the updated corpus.
+
+        The live-editing workload: the cell is written through the sheet's
+        cached :class:`~repro.formula.engine.FormulaEngine` (pass ``value``
+        for a plain value, ``formula`` for a formula), dependent formulas
+        are recalculated incrementally — O(dirty subgraph), not O(all
+        formulas) — and the edited workbook is re-indexed so subsequent
+        recommendations see the new content.  Re-indexing follows the
+        remove + re-add protocol, so the workbook moves to the end of the
+        corpus order exactly as an explicit remove/add pair would, keeping
+        fresh-fit and sharded parity intact.  Returns the engine's
+        :class:`~repro.formula.engine.RecalcReport`.
+
+        Raises ``KeyError`` if the workbook is not indexed or has no sheet
+        called ``sheet_name``, and ``ValueError`` unless exactly one of
+        ``value`` / ``formula`` is provided.
+        """
+        require_one_edit_operand(value, formula)
+        with self._rwlock.write_lock():
+            if workbook_name not in self._workbooks:
+                raise KeyError(workbook_name)
+            workbook = self._workbooks[workbook_name]
+            sheet = workbook.get_sheet(sheet_name)
+            engine = sheet_engine(self._engines, workbook_name, sheet)
+            if formula is not None:
+                engine.set_formula(address, formula)
+            else:
+                engine.set_value(address, value)
+            report = engine.recalculate()
+            # Mirror the predictor's remove + re-add corpus order.
+            self._workbooks.pop(workbook_name)
+            self._workbooks[workbook_name] = workbook
+            if self._incremental and self._fitted:
+                if len(workbook):
+                    try:
+                        self._predictor.remove_workbook(workbook_name)
+                        self._predictor.add_workbooks([workbook])
+                    except Exception:
+                        # A half-applied remove/add would leave the
+                        # predictor disagreeing with the registry (which
+                        # still lists the workbook); a full refit on the
+                        # registry restores consistency.  If the refit
+                        # itself fails, that error propagates.
+                        self._refit()
+            else:
+                self._refit()
+            self._corpus_version += 1
+            return report
 
     def _refit(self) -> None:
         self._predictor.fit(self.workbooks())

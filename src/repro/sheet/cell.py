@@ -133,10 +133,23 @@ class Cell:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Cell":
-        """Reconstruct a cell from :meth:`to_dict` output."""
+        """Reconstruct a cell from :meth:`to_dict` output.
+
+        Strings matching a known Excel-style error code are rehydrated as
+        :class:`~repro.formula.errors.ErrorValue`, so a committed error
+        keeps its type-based error identity (propagation through the
+        engine, ``is_error_value``) across a serialization round-trip.
+        """
         value = data.get("value")
         if data.get("value_kind") == "date" and isinstance(value, str):
             value = _dt.date.fromisoformat(value)
+        elif isinstance(value, str) and value.startswith("#"):
+            # Imported lazily: at module-import time repro.formula (which
+            # pulls in this module) may still be mid-initialization.
+            from repro.formula.errors import ALL_ERROR_VALUES, ErrorValue
+
+            if value in ALL_ERROR_VALUES:
+                value = ErrorValue(value)
         style_data = data.get("style")
         style = CellStyle.from_dict(style_data) if isinstance(style_data, dict) else DEFAULT_STYLE
         return cls(value=value, formula=data.get("formula"), style=style)

@@ -34,6 +34,20 @@ class Sheet:
         self._cells: Dict[CellAddress, Cell] = {}
         self._n_rows = 0
         self._n_cols = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped by every structural write.
+
+        Consumers that derive state from the sheet (notably the formula
+        recalculation engine's dependency graph) watermark this counter to
+        detect mutations made behind their back and resynchronize instead
+        of serving stale values.  In-place edits of a :class:`Cell` object
+        obtained from :meth:`get` are *not* observable here — mutate
+        through :meth:`set`/:meth:`set_cell` (or the engine) instead.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ access
 
@@ -54,6 +68,7 @@ class Sheet:
         self._cells[addr] = cell
         self._n_rows = max(self._n_rows, addr.row + 1)
         self._n_cols = max(self._n_cols, addr.col + 1)
+        self._version += 1
         return cell
 
     def set_cell(self, address: AddressLike, cell: Cell) -> None:
@@ -62,10 +77,12 @@ class Sheet:
         self._cells[addr] = cell
         self._n_rows = max(self._n_rows, addr.row + 1)
         self._n_cols = max(self._n_cols, addr.col + 1)
+        self._version += 1
 
     def delete(self, address: AddressLike) -> None:
         """Remove the cell at ``address`` if present (extent is not shrunk)."""
-        self._cells.pop(_to_address(address), None)
+        if self._cells.pop(_to_address(address), None) is not None:
+            self._version += 1
 
     def __getitem__(self, address: AddressLike) -> Cell:
         return self.get(address)
@@ -145,6 +162,7 @@ class Sheet:
                 moved[addr] = cell
         self._cells = moved
         self._n_rows += count
+        self._version += 1
 
     def delete_rows(self, at_row: int, count: int = 1) -> None:
         """Delete ``count`` rows starting at ``at_row`` (shifts cells up)."""
@@ -158,6 +176,7 @@ class Sheet:
                 moved[addr.shifted(-count, 0)] = cell
         self._cells = moved
         self._n_rows = max(0, self._n_rows - count)
+        self._version += 1
 
     def insert_cols(self, at_col: int, count: int = 1) -> None:
         """Insert ``count`` empty columns starting at ``at_col``."""
@@ -171,6 +190,7 @@ class Sheet:
                 moved[addr] = cell
         self._cells = moved
         self._n_cols += count
+        self._version += 1
 
     def delete_cols(self, at_col: int, count: int = 1) -> None:
         """Delete ``count`` columns starting at ``at_col``."""
@@ -184,6 +204,7 @@ class Sheet:
                 moved[addr.shifted(0, -count)] = cell
         self._cells = moved
         self._n_cols = max(0, self._n_cols - count)
+        self._version += 1
 
     def copy(self, name: Optional[str] = None) -> "Sheet":
         """Return a shallow-per-cell copy of this sheet."""

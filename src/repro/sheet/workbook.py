@@ -63,6 +63,18 @@ class Workbook:
         """Sheet names in insertion order (the weak-supervision signal)."""
         return list(self._sheets.keys())
 
+    def copy(self, name: Optional[str] = None) -> "Workbook":
+        """A deep-enough copy: fresh sheets and cells, shared styles.
+
+        The workload replay harness edits its workbooks in place; copying
+        at indexing time keeps the generator's shared pools pristine, so
+        two replays of one workload start from identical corpus state.
+        """
+        clone = Workbook(name or self.name, last_modified=self.last_modified)
+        for sheet in self:
+            clone.add_sheet(sheet.copy())
+        return clone
+
     # ------------------------------------------------------------------- stats
 
     def n_formulas(self) -> int:

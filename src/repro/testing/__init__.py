@@ -7,7 +7,7 @@ tie-break changes *which* formula wins, not whether serving crashes.
 This package makes those guarantees testable at scale:
 
 * :func:`generate_workload` builds a reproducible multi-tenant stream of
-  add/remove/recommend/evaluate operations from one integer seed;
+  add/remove/edit/recommend/evaluate operations from one integer seed;
 * :func:`replay_workload` applies a stream to any workspace
   implementation and records the response stream;
 * ``repro.testing.invariants`` contains white-box checkers that audit

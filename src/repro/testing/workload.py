@@ -1,20 +1,31 @@
 """Deterministic multi-tenant workload simulation.
 
 A *workload* is a reproducible stream of service operations — workbook
-adds, workbook removals, recommendation batches and evaluation sweeps —
-over one or more tenants, generated entirely from an integer seed.  Two
-calls to :func:`generate_workload` with the same seed produce the same
-tenants, the same synthetic workbooks (shared objects, so two replays of
-one workload serve the *same* sheet instances), the same operation order
-and the same request batches; replaying the stream against any
-workspace implementation therefore produces comparable response streams,
-which is how the invariant suite checks sharded-vs-unsharded parity and
-mutated-vs-fresh-fit parity (see ``repro.testing.invariants``).
+adds, workbook removals, live cell edits, recommendation batches and
+evaluation sweeps — over one or more tenants, generated entirely from an
+integer seed.  Two calls to :func:`generate_workload` with the same seed
+produce the same tenants, the same synthetic workbooks, the same
+operation order and the same request batches; replaying the stream
+against any workspace implementation therefore produces comparable
+response streams, which is how the invariant suite checks
+sharded-vs-unsharded parity and mutated-vs-fresh-fit parity (see
+``repro.testing.invariants``).
+
+``edit`` operations drive the live-editing workload: a numeric cell of an
+indexed sheet is overwritten, the workspace recalculates the sheet's
+formulas incrementally through its dependency-graph engine, and the
+workbook is re-indexed (edit → incremental recalc → re-recommend).
+Because edits mutate sheet contents, :func:`replay_workload` indexes a
+private :meth:`~repro.sheet.workbook.Workbook.copy` of each added
+workbook: the generator's pools stay pristine, so two replays of one
+workload — or a plain and a sharded replay compared for parity — start
+from identical corpus state.
 
 The generator never emits an invalid operation: a remove against an
-empty tenant or an add with the pool exhausted is deterministically
-re-drawn as the nearest valid kind, and removed workbooks return to the
-pool so long simulations exercise remove/re-add churn.
+empty tenant, an add with the pool exhausted, or an edit with nothing
+editable is deterministically re-drawn as the nearest valid kind, and
+removed workbooks return to the pool so long simulations exercise
+remove/re-add churn.
 """
 
 from __future__ import annotations
@@ -28,10 +39,11 @@ from repro.corpus.generator import CorpusGenerator, CorpusSpec
 from repro.corpus.testcases import TestCase, sample_test_cases
 from repro.formula.template import normalize_formula
 from repro.service.types import RecommendationRequest, RecommendationResponse
+from repro.sheet.addressing import CellAddress
 from repro.sheet.workbook import Workbook
 
 #: Operation kinds a workload can contain, in weight order.
-OP_KINDS = ("add", "remove", "recommend", "evaluate")
+OP_KINDS = ("add", "remove", "edit", "recommend", "evaluate")
 
 
 @dataclass(frozen=True)
@@ -40,8 +52,9 @@ class WorkloadConfig:
 
     ``op_weights`` are the relative draw probabilities of
     :data:`OP_KINDS`; invalid draws (removing from an empty tenant,
-    adding with nothing left to add) are re-drawn deterministically, so
-    the realized mix tracks the weights only approximately.  Corpus
+    adding with nothing left to add, editing with nothing editable) are
+    re-drawn deterministically, so the realized mix tracks the weights
+    only approximately.  Corpus
     parameters are deliberately small: simulations are meant to run in a
     test suite, and small per-tenant corpora also keep the approximate
     index kinds (IVF, LSH) in their exact-fallback regime, where sharded
@@ -50,7 +63,7 @@ class WorkloadConfig:
 
     n_tenants: int = 2
     n_steps: int = 16
-    op_weights: Tuple[float, float, float, float] = (0.3, 0.15, 0.45, 0.1)
+    op_weights: Tuple[float, ...] = (0.25, 0.1, 0.15, 0.4, 0.1)
     #: Per-tenant synthetic corpus shape (see :class:`CorpusSpec`).
     n_families: int = 2
     min_copies: int = 2
@@ -81,10 +94,14 @@ class WorkloadOp:
     kind: str
     #: The workbook to index (``kind == "add"``).
     workbook: Optional[Workbook] = None
-    #: The workbook to drop (``kind == "remove"``).
+    #: The workbook to drop (``kind == "remove"``) or edit (``"edit"``).
     workbook_name: Optional[str] = None
     #: The requests to serve (``kind in ("recommend", "evaluate")``).
     cases: Tuple[TestCase, ...] = ()
+    #: The sheet / cell / new value of an ``edit`` operation.
+    sheet_name: Optional[str] = None
+    address: Optional[CellAddress] = None
+    value: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -100,6 +117,28 @@ class Workload:
     #: The tenant's evaluation case set (targets are blanked copies, so
     #: they never alias the reference corpus sheets).
     cases: Dict[str, Tuple[TestCase, ...]]
+
+
+def _edit_candidates(workbook: Workbook) -> Tuple[Tuple[str, CellAddress], ...]:
+    """The (sheet, cell) slots an ``edit`` op may target in a workbook.
+
+    Edits overwrite plain numeric cells on sheets that carry at least one
+    formula, so every edit can feed the incremental-recalculation path.
+    Replacing a number with a number keeps the candidate set itself
+    stable, which is what lets the generator draw edits against the
+    pristine pool workbooks while replays apply them to private copies.
+    """
+    candidates = []
+    for sheet in workbook:
+        if not sheet.n_formulas():
+            continue
+        for address, cell in sheet.cells():
+            if cell.has_formula:
+                continue
+            if isinstance(cell.value, bool) or not isinstance(cell.value, (int, float)):
+                continue
+            candidates.append((sheet.name, address))
+    return tuple(candidates)
 
 
 def generate_workload(seed: int, config: Optional[WorkloadConfig] = None) -> Workload:
@@ -135,6 +174,12 @@ def generate_workload(seed: int, config: Optional[WorkloadConfig] = None) -> Wor
         tenant: list(pools[tenant]) for tenant in tenants
     }
     indexed: Dict[str, List[Workbook]] = {tenant: [] for tenant in tenants}
+    edit_slots: Dict[str, Dict[str, Tuple[Tuple[str, CellAddress], ...]]] = {
+        tenant: {
+            workbook.name: _edit_candidates(workbook) for workbook in pools[tenant]
+        }
+        for tenant in tenants
+    }
 
     ops: List[WorkloadOp] = []
     step = 0
@@ -161,6 +206,18 @@ def generate_workload(seed: int, config: Optional[WorkloadConfig] = None) -> Wor
             kind = "remove" if indexed[tenant] else "recommend"
         if kind == "remove" and not indexed[tenant]:
             kind = "add" if available[tenant] else "recommend"
+        if kind == "edit":
+            editable = [
+                workbook
+                for workbook in indexed[tenant]
+                if edit_slots[tenant][workbook.name]
+            ]
+            if not editable:
+                kind = (
+                    "add"
+                    if available[tenant]
+                    else ("remove" if indexed[tenant] else "recommend")
+                )
         if kind in ("recommend", "evaluate") and not cases[tenant]:
             # A tenant without sampleable cases still exercises mutation:
             # prefer an add/remove, else emit an (empty) evaluate no-op.
@@ -173,6 +230,28 @@ def generate_workload(seed: int, config: Optional[WorkloadConfig] = None) -> Wor
 
         if kind == "add":
             ops.append(add_op(tenant))
+        elif kind == "edit":
+            workbook = editable[int(rng.integers(len(editable)))]
+            slots = edit_slots[tenant][workbook.name]
+            sheet_name, address = slots[int(rng.integers(len(slots)))]
+            # Values include occasional zeros so edit streams exercise the
+            # engine's error-value propagation (e.g. divisions going #DIV/0!).
+            value = (
+                0.0
+                if rng.random() < 0.05
+                else float(np.round(rng.uniform(1.0, 10_000.0), 2))
+            )
+            ops.append(
+                WorkloadOp(
+                    step=step,
+                    tenant=tenant,
+                    kind="edit",
+                    workbook_name=workbook.name,
+                    sheet_name=sheet_name,
+                    address=address,
+                    value=value,
+                )
+            )
         elif kind == "remove":
             workbook = indexed[tenant].pop(int(rng.integers(len(indexed[tenant]))))
             available[tenant].append(workbook)
@@ -224,6 +303,8 @@ class StepOutcome:
     responses: Tuple[RecommendationResponse, ...] = ()
     #: ``evaluate`` summary: cases served, accepted, exact matches.
     evaluation: Optional[Dict[str, int]] = None
+    #: ``edit`` summary: formulas recalculated / errored by the engine.
+    recalc: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -246,21 +327,37 @@ def replay_workload(
     """Replay a workload against fresh per-tenant workspaces.
 
     ``workspace_factory`` builds one workspace-like object (anything with
-    ``add_workbook`` / ``remove_workbook`` / ``serve_batch``) per tenant.
-    ``after_step`` is an optional hook — the invariant suite uses it to
-    audit index state after every operation.  Replays are deterministic:
-    the op stream is fixed and serving is synchronous.
+    ``add_workbook`` / ``remove_workbook`` / ``edit_cell`` /
+    ``serve_batch``) per tenant.  ``after_step`` is an optional hook — the
+    invariant suite uses it to audit index state after every operation.
+    Replays are deterministic: the op stream is fixed and serving is
+    synchronous.  Each ``add`` indexes a private copy of the pool
+    workbook, so ``edit`` operations never leak between replays of the
+    same workload.
     """
     workspaces = {tenant: workspace_factory(tenant) for tenant in workload.tenants}
     result = ReplayResult(workspaces=workspaces)
     for op in workload.ops:
         workspace = workspaces[op.tenant]
         if op.kind == "add":
-            workspace.add_workbook(op.workbook)
+            workspace.add_workbook(op.workbook.copy())
             outcome = StepOutcome(step=op.step, tenant=op.tenant, kind=op.kind)
         elif op.kind == "remove":
             workspace.remove_workbook(op.workbook_name)
             outcome = StepOutcome(step=op.step, tenant=op.tenant, kind=op.kind)
+        elif op.kind == "edit":
+            report = workspace.edit_cell(
+                op.workbook_name, op.sheet_name, op.address, value=op.value
+            )
+            outcome = StepOutcome(
+                step=op.step,
+                tenant=op.tenant,
+                kind=op.kind,
+                recalc={
+                    "recalculated": int(report.recalculated),
+                    "errored": int(report.errored),
+                },
+            )
         else:
             requests = [
                 RecommendationRequest(case.target_sheet, case.target_cell)

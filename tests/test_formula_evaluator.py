@@ -198,9 +198,65 @@ class TestEvaluatorMechanics:
         sheet.set("A1", 3)
         sheet.set("A2", 4)
         sheet.set("A3", formula="=SUM(A1:A2)")
-        updated = FormulaEvaluator(sheet).recalculate()
-        assert updated == 1
+        report = FormulaEvaluator(sheet).recalculate()
+        assert (report.recalculated, report.errored) == (1, 0)
+        assert report.total == 1
         assert sheet.get("A3").value == 7
 
     def test_evaluate_cell_plain_value(self, data_sheet):
         assert FormulaEvaluator(data_sheet).evaluate_cell("A1") == 10
+
+
+class TestSeedRegressions:
+    """Regression tests for the seed evaluator's bugs (each fails there)."""
+
+    def test_evaluate_formula_sees_sheet_mutation(self, data_sheet):
+        # Seed bug: the per-instance value cache was never invalidated, so
+        # the second evaluation returned the pre-edit sum (150).
+        evaluator = FormulaEvaluator(data_sheet)
+        assert evaluator.evaluate_formula("=SUM(A1:A5)") == 150
+        data_sheet.set("A1", 1000)
+        assert evaluator.evaluate_formula("=SUM(A1:A5)") == 1140
+
+    def test_recalculate_sees_sheet_mutation(self):
+        # Seed bug: recalculate() after an edit recomputed from the stale
+        # cache and left A2 at its pre-edit value.
+        sheet = Sheet()
+        sheet.set("A1", 2)
+        sheet.set("A2", formula="=A1*10")
+        evaluator = FormulaEvaluator(sheet)
+        evaluator.recalculate()
+        assert sheet.get("A2").value == 20
+        sheet.set("A1", 5)
+        evaluator.recalculate()
+        assert sheet.get("A2").value == 50
+
+    def test_string_number_equality_is_false(self, evaluator):
+        # Seed bug: mixed operands were coerced to lowercased strings, so
+        # ="1"=1 evaluated TRUE.  Excel: numbers and text never compare
+        # equal, and text sorts above numbers for ordering operators.
+        assert evaluator.evaluate_formula('="1"=1') is False
+        assert evaluator.evaluate_formula('="1"<>1') is True
+        assert evaluator.evaluate_formula('=1<"a"') is True
+        assert evaluator.evaluate_formula('="a">999') is True
+        assert evaluator.evaluate_formula('="Apple"="APPLE"') is True
+
+    def test_concatenation_renders_booleans_uppercase(self, evaluator):
+        # Seed bug: _as_text used str(), producing "True"/"False".
+        assert evaluator.evaluate_formula('=TRUE&""') == "TRUE"
+        assert evaluator.evaluate_formula('="is "&FALSE') == "is FALSE"
+        assert evaluator.evaluate_formula("=(A1>5)&(A1>15)") == "TRUEFALSE"
+
+    def test_recalculate_reports_and_commits_errors(self):
+        # Seed bug: failures were silently swallowed, keeping stale values
+        # with no signal.  Now the error value is committed and counted.
+        sheet = Sheet()
+        sheet.set("A1", 10)
+        sheet.set("B1", formula="=A1/0")
+        sheet.set("B2", formula="=B1+1")
+        sheet.set("C1", formula="=A1*2")
+        report = FormulaEvaluator(sheet).recalculate()
+        assert (report.recalculated, report.errored) == (1, 2)
+        assert sheet.get("B1").value == "#DIV/0!"
+        assert sheet.get("B2").value == "#DIV/0!"
+        assert sheet.get("C1").value == 20

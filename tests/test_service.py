@@ -302,6 +302,62 @@ class TestFacade:
         assert references[0].name not in workspace
 
 
+class TestEditCell:
+    """The live-edit surface: contracts shared by plain and sharded."""
+
+    @pytest.fixture()
+    def edit_target(self, workload):
+        reference_workbooks, __ = workload
+        workbook = reference_workbooks[0]
+        sheet = next(s for s in workbook if s.n_formulas())
+        address = next(
+            addr
+            for addr, cell in sheet.cells()
+            if not cell.has_formula
+            and isinstance(cell.value, (int, float))
+            and not isinstance(cell.value, bool)
+        )
+        return workbook, sheet, address
+
+    def _workspaces(self, trained_encoder, workbooks):
+        plain = Workspace("t", AutoFormula(trained_encoder, _config("exact")))
+        plain.add_workbooks([wb.copy() for wb in workbooks])
+        sharded = ShardedWorkspace(
+            "t", lambda: AutoFormula(trained_encoder, _config("exact")), 3
+        )
+        sharded.add_workbooks([wb.copy() for wb in workbooks])
+        return plain, sharded
+
+    def test_requires_exactly_one_operand(self, trained_encoder, workload, edit_target):
+        reference_workbooks, __ = workload
+        workbook, sheet, address = edit_target
+        for workspace in self._workspaces(trained_encoder, reference_workbooks[:2]):
+            with pytest.raises(ValueError, match="value=.*formula="):
+                workspace.edit_cell(workbook.name, sheet.name, address)
+            with pytest.raises(ValueError, match="not both"):
+                workspace.edit_cell(
+                    workbook.name, sheet.name, address, value=1.0, formula="=1"
+                )
+            with pytest.raises(KeyError):
+                workspace.edit_cell("ghost.xlsx", sheet.name, address, value=1.0)
+            with pytest.raises(KeyError):
+                workspace.edit_cell(workbook.name, "ghost sheet", address, value=1.0)
+
+    def test_edit_applies_and_moves_workbook_to_corpus_end(
+        self, trained_encoder, workload, edit_target
+    ):
+        reference_workbooks, __ = workload
+        workbook, sheet, address = edit_target
+        plain, sharded = self._workspaces(trained_encoder, reference_workbooks[:3])
+        for workspace in (plain, sharded):
+            report = workspace.edit_cell(workbook.name, sheet.name, address, value=77.25)
+            assert report.total >= 0
+            edited = next(wb for wb in workspace.workbooks() if wb.name == workbook.name)
+            assert edited.get_sheet(sheet.name).get(address).value == 77.25
+            assert workspace.workbook_names[-1] == workbook.name
+        sharded.close()
+
+
 class _FaultInjectingAutoFormula(AutoFormula):
     """AutoFormula whose next add/remove can be made to explode."""
 

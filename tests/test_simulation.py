@@ -39,6 +39,22 @@ SMALL_WORKLOAD = WorkloadConfig(
     max_cases=5,
 )
 
+#: Edit-heavy variant: every acceptance seed draws several ``edit`` ops
+#: followed by serving, so the edit → incremental-recalc → re-recommend
+#: loop is exercised end to end.
+EDIT_WORKLOAD = WorkloadConfig(
+    n_tenants=1,
+    n_steps=12,
+    op_weights=(0.2, 0.1, 0.45, 0.2, 0.05),
+    n_families=2,
+    min_copies=2,
+    max_copies=3,
+    n_singletons=1,
+    initial_workbooks=2,
+    max_recommend_batch=3,
+    max_cases=5,
+)
+
 
 def _config(kind: str) -> AutoFormulaConfig:
     return AutoFormulaConfig(sheet_index_kind=kind, formula_index_kind=kind)
@@ -87,6 +103,13 @@ class TestWorkloadDeterminism:
             elif op.kind == "remove":
                 assert op.workbook_name in indexed[op.tenant]
                 indexed[op.tenant].remove(op.workbook_name)
+            elif op.kind == "edit":
+                # Edits target an indexed workbook's existing numeric cell.
+                assert op.workbook_name in indexed[op.tenant]
+                pool = {wb.name: wb for wb in workload.pools[op.tenant]}
+                sheet = pool[op.workbook_name].get_sheet(op.sheet_name)
+                assert not sheet.get(op.address).has_formula
+                assert isinstance(op.value, float)
             elif op.kind == "recommend":
                 assert op.cases
 
@@ -206,6 +229,77 @@ class TestFreshFitParity:
                 workload.cases[tenant],
                 context=f"kind={kind} tenant={tenant} sharded",
             )
+            workspace.close()
+
+
+@pytest.mark.parametrize("seed", SIMULATOR_SEEDS)
+class TestEditRecalcParity:
+    """Edit streams: incremental recalc must equal a fresh full pass.
+
+    The acceptance invariant of the formula engine, stated over the
+    simulator: for every simulator seed × edit stream, the sheets served
+    after engine-incremental recalculation are value-identical to a fresh
+    full-pass evaluation of the final sheet state, and sharded serving of
+    the edited corpus stays bit-identical to unsharded serving.
+    """
+
+    @staticmethod
+    def _assert_full_pass_identical(sheet):
+        from repro.formula import FormulaEngine
+
+        fresh = sheet.copy()
+        for __, cell in fresh.cells():
+            if cell.has_formula:
+                cell.value = None
+        FormulaEngine(fresh).recalculate()
+        for address, cell in sheet.cells():
+            assert fresh.get(address).value == cell.value, (
+                f"{sheet.name}!{address.to_a1()}: incremental {cell.value!r} "
+                f"vs full pass {fresh.get(address).value!r}"
+            )
+
+    def test_incremental_recalc_matches_full_pass(self, trained_encoder, seed):
+        workload = generate_workload(seed, EDIT_WORKLOAD)
+        assert any(op.kind == "edit" for op in workload.ops), (
+            "EDIT_WORKLOAD must draw edits for every acceptance seed"
+        )
+        replay = replay_workload(
+            workload,
+            lambda tenant: Workspace(tenant, AutoFormula(trained_encoder, _config("exact"))),
+        )
+        edits = [outcome for outcome in replay.outcomes if outcome.kind == "edit"]
+        assert edits and all(outcome.recalc is not None for outcome in edits)
+        for workspace in replay.workspaces.values():
+            for workbook in workspace.workbooks():
+                for sheet in workbook:
+                    self._assert_full_pass_identical(sheet)
+
+    def test_sharded_serving_matches_unsharded_under_edits(self, trained_encoder, seed):
+        workload = generate_workload(seed, EDIT_WORKLOAD)
+        config = _config("exact")
+        plain = replay_workload(
+            workload,
+            lambda tenant: Workspace(tenant, AutoFormula(trained_encoder, config)),
+        )
+        sharded = replay_workload(
+            workload,
+            lambda tenant: ShardedWorkspace(
+                tenant, lambda: AutoFormula(trained_encoder, config), 3
+            ),
+        )
+        for left, right in zip(plain.outcomes, sharded.outcomes):
+            assert left.recalc == right.recalc
+            assert_responses_match(
+                left.responses, right.responses, context=f"edit seed={seed} step={left.step}"
+            )
+        for tenant, workspace in sharded.workspaces.items():
+            if len(workspace):
+                assert_matches_fresh_fit(
+                    workspace,
+                    lambda: AutoFormula(trained_encoder, config),
+                    workload.cases[tenant],
+                    context=f"edit seed={seed} tenant={tenant} sharded",
+                )
             workspace.close()
 
 
