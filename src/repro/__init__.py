@@ -58,6 +58,12 @@ from repro.service import (
     ShardedWorkspace,
     Workspace,
 )
+from repro.server import (
+    FormulaClient,
+    FormulaServer,
+    ServerConfig,
+    start_server_in_background,
+)
 
 __version__ = "1.0.0"
 
@@ -94,5 +100,9 @@ __all__ = [
     "RecommendationResponse",
     "ShardedWorkspace",
     "Workspace",
+    "FormulaClient",
+    "FormulaServer",
+    "ServerConfig",
+    "start_server_in_background",
     "__version__",
 ]

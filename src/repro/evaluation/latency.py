@@ -6,7 +6,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.core.interface import FormulaPredictor
 from repro.corpus.testcases import TestCase
@@ -67,25 +67,52 @@ class LatencyRecorder:
         return self._total / self._count
 
     def percentile(self, fraction: float) -> float:
-        """Nearest-rank percentile over the recent window, ``fraction`` in [0, 1]."""
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1]")
+        """Interpolated percentile over the recent window, ``fraction`` in [0, 1].
+
+        Uses linear interpolation between closest ranks (the same estimator
+        as ``numpy.percentile``'s default), so small windows report e.g. a
+        p50 *between* the two middle samples instead of snapping to the
+        nearest rank — nearest-rank p99 over a few dozen samples simply
+        repeated the max, which made tail regressions invisible.
+        """
+        return self.percentiles((fraction,))[0]
+
+    def percentiles(self, fractions: Sequence[float]) -> List[float]:
+        """Several interpolated percentiles from one snapshot of the window.
+
+        One lock acquisition and one sort, so callers reporting p50/p95/p99
+        together (the ``/stats`` endpoint, benchmark tables) read a
+        *consistent* set — percentiles computed one call at a time could
+        straddle a concurrent ``record``.
+        """
+        for fraction in fractions:
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError("fraction must be in [0, 1]")
         with self._mutex:
             window = list(self._window)
         if not window:
-            return 0.0
+            return [0.0 for __ in fractions]
         ordered = sorted(window)
-        rank = max(int(-(-fraction * len(ordered) // 1)), 1)  # ceil, >= 1
-        return ordered[min(rank, len(ordered)) - 1]
+        last = len(ordered) - 1
+        values = []
+        for fraction in fractions:
+            position = fraction * last
+            lower = int(position)
+            upper = min(lower + 1, last)
+            weight = position - lower
+            values.append(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+        return values
 
     def summary(self) -> Dict[str, float]:
-        """Count, total, mean, p50/p95 (recent window) and max."""
+        """Count, total, mean, p50/p95/p99 (recent window) and max."""
+        p50, p95, p99 = self.percentiles((0.5, 0.95, 0.99))
         return {
             "count": float(self._count),
             "total_seconds": self.total_seconds,
             "mean_seconds": self.mean_seconds,
-            "p50_seconds": self.percentile(0.5),
-            "p95_seconds": self.percentile(0.95),
+            "p50_seconds": p50,
+            "p95_seconds": p95,
+            "p99_seconds": p99,
             "max_seconds": self._max,
         }
 

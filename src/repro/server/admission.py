@@ -1,0 +1,141 @@
+"""Admission control: per-tenant rate limiting, backpressure, drain.
+
+Every serving request passes through one :class:`AdmissionController`
+before it may enter a workspace's ingress queue.  Three gates, in order:
+
+1. **drain** — a draining server admits nothing new (HTTP 503 with a
+   short ``Retry-After``), while already-queued requests finish;
+2. **per-tenant token bucket** — sustained request rate per workspace is
+   bounded (HTTP 429, ``Retry-After`` = time until the bucket refills
+   enough), so one hot tenant cannot starve the rest;
+3. **bounded ingress queue** — when a workspace's queue is at its limit
+   the request is shed instead of queued (HTTP 503), keeping queueing
+   delay bounded under overload (load-shedding beats unbounded latency).
+
+The controller is pure policy: it never sleeps, never touches sockets,
+and takes the clock as a parameter, so tests drive it deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a request was refused, plus what the client should do about it.
+
+    ``status`` is the HTTP status the protocol layer must answer with
+    (429 for rate limiting, 503 for shed/drain) and ``retry_after_seconds``
+    the value of the ``Retry-After`` header.
+    """
+
+    status: int
+    reason: str
+    retry_after_seconds: float
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/s, burst capacity ``burst``.
+
+    ``try_acquire`` either takes the tokens and returns ``None`` or leaves
+    the bucket untouched and returns the seconds until enough tokens will
+    have accumulated (the ``Retry-After`` hint).
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_refill: Optional[float] = None
+
+    def try_acquire(self, now: float, n: float = 1.0) -> Optional[float]:
+        if self._last_refill is not None and now > self._last_refill:
+            self._tokens = min(self.burst, self._tokens + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+        if self._tokens >= n:
+            self._tokens -= n
+            return None
+        return (n - self._tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission policy knobs (``None`` rate = no per-tenant limiting)."""
+
+    #: Sustained per-tenant request rate (requests/second), or ``None``.
+    rate_limit_per_tenant: Optional[float] = None
+    #: Bucket capacity; defaults to one second's worth of rate (min 1).
+    rate_limit_burst: Optional[float] = None
+    #: Per-workspace ingress-queue bound (requests, not batches).
+    queue_limit: int = 128
+    #: ``Retry-After`` hint handed out while draining.
+    drain_retry_after_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if self.rate_limit_per_tenant is not None and self.rate_limit_per_tenant <= 0:
+            raise ValueError("rate_limit_per_tenant must be positive when set")
+
+
+class AdmissionController:
+    """Applies :class:`AdmissionConfig` to every incoming serving request."""
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._draining = False
+        self._mutex = threading.Lock()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def start_drain(self) -> None:
+        """Flip into drain mode: all subsequent admissions are refused."""
+        self._draining = True
+
+    def admit(self, tenant: str, queue_depth: int, n: int = 1) -> Optional[Rejection]:
+        """Admit ``n`` requests for ``tenant`` or say why not.
+
+        ``queue_depth`` is the tenant's current ingress backlog; the caller
+        samples it immediately before enqueueing (both happen on the event
+        loop thread, so the check-then-enqueue pair cannot race).
+        """
+        if self._draining:
+            return Rejection(
+                status=503,
+                reason="draining",
+                retry_after_seconds=self.config.drain_retry_after_seconds,
+            )
+        rate = self.config.rate_limit_per_tenant
+        if rate is not None:
+            with self._mutex:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    burst = self.config.rate_limit_burst or max(rate, 1.0)
+                    bucket = TokenBucket(rate, burst)
+                    self._buckets[tenant] = bucket
+                wait = bucket.try_acquire(self._clock(), float(n))
+            if wait is not None:
+                return Rejection(
+                    status=429, reason="rate_limited", retry_after_seconds=wait
+                )
+        if queue_depth + n > self.config.queue_limit:
+            return Rejection(
+                status=503,
+                reason="queue_full",
+                retry_after_seconds=self.config.drain_retry_after_seconds,
+            )
+        return None

@@ -1,0 +1,119 @@
+"""Server observability: admission counters, batch shape, queue depth.
+
+One :class:`ServerMetrics` instance per server aggregates everything the
+``/stats`` endpoint reports:
+
+* admission counters — accepted / rejected (by reason) / shed-on-drain /
+  served / errored requests;
+* the micro-batcher's batch-size histogram and the derived *coalescing
+  ratio* (requests served per ``serve_batch`` dispatch — 1.0 means no
+  coalescing happened, N means N requests amortized one dispatch);
+* queue-depth gauges, registered per workspace batcher and sampled at
+  snapshot time, so ``/stats`` shows live backlog;
+* per-endpoint wall-clock latency, recorded on
+  :class:`~repro.evaluation.latency.LatencyRecorder` instances whose
+  :meth:`~repro.evaluation.latency.LatencyRecorder.summary` (count /
+  p50 / p95 / p99 / max) is reused verbatim — the serving front-end and
+  the offline benchmarks report latency through one code path.
+
+Counters are touched from the event loop *and* from executor threads
+(batch completion), so all mutation goes through one mutex.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Callable, Dict
+
+from repro.evaluation.latency import LatencyRecorder
+
+#: Counter keys with defined meanings (others may be counted ad hoc).
+ACCEPTED = "accepted"
+SERVED = "served"
+REJECTED_RATE_LIMITED = "rejected_rate_limited"
+REJECTED_QUEUE_FULL = "rejected_queue_full"
+REJECTED_DRAINING = "rejected_draining"
+SERVER_ERRORS = "server_errors"
+BATCHES = "batches"
+BATCHED_REQUESTS = "batched_requests"
+COLLAPSED_DUPLICATES = "collapsed_duplicates"
+
+
+class ServerMetrics:
+    """Thread-safe aggregate of the serving front-end's vital signs."""
+
+    def __init__(self, latency_window: int = 8192) -> None:
+        self._mutex = threading.Lock()
+        self._counters: Counter = Counter()
+        self._batch_sizes: Counter = Counter()
+        self._latency_window = latency_window
+        self._endpoints: Dict[str, LatencyRecorder] = {}
+        self._queue_wait = LatencyRecorder(window_size=latency_window)
+        self._queue_gauges: Dict[str, Callable[[], int]] = {}
+
+    # ------------------------------------------------------------- recording
+
+    def count(self, key: str, n: int = 1) -> None:
+        with self._mutex:
+            self._counters[key] += n
+
+    def counter(self, key: str) -> int:
+        with self._mutex:
+            return self._counters[key]
+
+    def observe_batch(self, size: int) -> None:
+        """One ``serve_batch`` dispatch that carried ``size`` requests."""
+        with self._mutex:
+            self._counters[BATCHES] += 1
+            self._counters[BATCHED_REQUESTS] += size
+            self._batch_sizes[size] += 1
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        self._queue_wait.record(max(seconds, 0.0))
+
+    def endpoint_recorder(self, endpoint: str) -> LatencyRecorder:
+        """The (lazily created) latency recorder for one endpoint label."""
+        with self._mutex:
+            recorder = self._endpoints.get(endpoint)
+            if recorder is None:
+                recorder = LatencyRecorder(window_size=self._latency_window)
+                self._endpoints[endpoint] = recorder
+            return recorder
+
+    def record_endpoint(self, endpoint: str, seconds: float) -> None:
+        self.endpoint_recorder(endpoint).record(max(seconds, 0.0))
+
+    def register_queue_gauge(self, name: str, depth: Callable[[], int]) -> None:
+        """Register a live queue-depth callback (one per workspace batcher)."""
+        with self._mutex:
+            self._queue_gauges[name] = depth
+
+    # ------------------------------------------------------------- reporting
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Mean requests per dispatched batch (0.0 before the first batch)."""
+        with self._mutex:
+            batches = self._counters[BATCHES]
+            if not batches:
+                return 0.0
+            return self._counters[BATCHED_REQUESTS] / batches
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-ready view of every metric (the ``/stats`` body)."""
+        with self._mutex:
+            counters = dict(self._counters)
+            batch_sizes = {str(size): count for size, count in sorted(self._batch_sizes.items())}
+            gauges = dict(self._queue_gauges)
+            endpoints = dict(self._endpoints)
+        batches = counters.get(BATCHES, 0)
+        coalescing = counters.get(BATCHED_REQUESTS, 0) / batches if batches else 0.0
+        return {
+            "counters": counters,
+            "batch_size_histogram": batch_sizes,
+            "coalescing_ratio": coalescing,
+            "queue_depths": {name: int(depth()) for name, depth in gauges.items()},
+            "queue_wait": self._queue_wait.summary(),
+            "endpoints": {name: recorder.summary() for name, recorder in endpoints.items()},
+        }

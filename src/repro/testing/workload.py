@@ -1,9 +1,9 @@
 """Deterministic multi-tenant workload simulation.
 
 A *workload* is a reproducible stream of service operations — workbook
-adds, workbook removals, live cell edits, recommendation batches and
-evaluation sweeps — over one or more tenants, generated entirely from an
-integer seed.  Two calls to :func:`generate_workload` with the same seed
+adds, workbook removals, live cell edits, recommendation batches,
+concurrent ``serve`` bursts and evaluation sweeps — over one or more
+tenants, generated entirely from an integer seed.  Two calls to :func:`generate_workload` with the same seed
 produce the same tenants, the same synthetic workbooks, the same
 operation order and the same request batches; replaying the stream
 against any workspace implementation therefore produces comparable
@@ -42,8 +42,13 @@ from repro.service.types import RecommendationRequest, RecommendationResponse
 from repro.sheet.addressing import CellAddress
 from repro.sheet.workbook import Workbook
 
-#: Operation kinds a workload can contain, in weight order.
-OP_KINDS = ("add", "remove", "edit", "recommend", "evaluate")
+#: Operation kinds a workload can contain, in weight order.  ``serve``
+#: is the concurrent-burst variant of ``recommend``: its requests come in
+#: same-sheet clusters meant to be fired *simultaneously* at a serving
+#: front-end, which is how the simulation harness drives the network
+#: layer's request-coalescing path deterministically (synchronous replays
+#: simply serve the flattened burst, so parity checking still applies).
+OP_KINDS = ("add", "remove", "edit", "recommend", "serve", "evaluate")
 
 
 @dataclass(frozen=True)
@@ -63,7 +68,7 @@ class WorkloadConfig:
 
     n_tenants: int = 2
     n_steps: int = 16
-    op_weights: Tuple[float, ...] = (0.25, 0.1, 0.15, 0.4, 0.1)
+    op_weights: Tuple[float, ...] = (0.25, 0.1, 0.15, 0.3, 0.1, 0.1)
     #: Per-tenant synthetic corpus shape (see :class:`CorpusSpec`).
     n_families: int = 2
     min_copies: int = 2
@@ -75,6 +80,10 @@ class WorkloadConfig:
     max_recommend_batch: int = 4
     #: Cap on the per-tenant evaluation case set.
     max_cases: int = 8
+    #: ``serve`` bursts: number of same-sheet clusters per burst ...
+    serve_clusters: int = 2
+    #: ... and concurrent requests drawn (with replacement) per cluster.
+    serve_cluster_size: int = 3
 
     def __post_init__(self) -> None:
         if self.n_tenants <= 0 or self.n_steps < 0:
@@ -83,6 +92,8 @@ class WorkloadConfig:
             raise ValueError(f"op_weights must be {len(OP_KINDS)} non-negative weights")
         if sum(self.op_weights) <= 0:
             raise ValueError("op_weights must not all be zero")
+        if self.serve_clusters <= 0 or self.serve_cluster_size <= 0:
+            raise ValueError("serve_clusters and serve_cluster_size must be positive")
 
 
 @dataclass(frozen=True)
@@ -96,8 +107,12 @@ class WorkloadOp:
     workbook: Optional[Workbook] = None
     #: The workbook to drop (``kind == "remove"``) or edit (``"edit"``).
     workbook_name: Optional[str] = None
-    #: The requests to serve (``kind in ("recommend", "evaluate")``).
+    #: The requests to serve (``kind in ("recommend", "serve", "evaluate")``).
     cases: Tuple[TestCase, ...] = ()
+    #: ``serve`` only: the burst's same-sheet clusters.  ``cases`` is the
+    #: flattened concatenation, so kind-agnostic consumers keep working; a
+    #: concurrency-aware driver fires each cluster's requests together.
+    clusters: Tuple[Tuple[TestCase, ...], ...] = ()
     #: The sheet / cell / new value of an ``edit`` operation.
     sheet_name: Optional[str] = None
     address: Optional[CellAddress] = None
@@ -139,6 +154,34 @@ def _edit_candidates(workbook: Workbook) -> Tuple[Tuple[str, CellAddress], ...]:
                 continue
             candidates.append((sheet.name, address))
     return tuple(candidates)
+
+
+def _draw_serve_burst(
+    rng: np.random.Generator,
+    tenant_cases: Tuple[TestCase, ...],
+    config: WorkloadConfig,
+) -> Tuple[Tuple[TestCase, ...], ...]:
+    """Draw a ``serve`` burst: same-sheet clusters of concurrent requests.
+
+    Cases are grouped by their target sheet; each cluster draws
+    ``serve_cluster_size`` requests *with replacement* from one sheet's
+    cases, mirroring a client session hammering one open spreadsheet.
+    Same-sheet clusters are exactly what the serving front-end's
+    micro-batcher coalesces into a single ``predict_batch`` call.
+    """
+    by_sheet: Dict[Tuple[str, str], List[TestCase]] = {}
+    for case in tenant_cases:
+        by_sheet.setdefault((case.workbook_name, case.sheet_name), []).append(case)
+    sheet_keys = list(by_sheet)
+    chosen = rng.choice(
+        len(sheet_keys), size=min(config.serve_clusters, len(sheet_keys)), replace=False
+    )
+    clusters = []
+    for key_index in sorted(int(index) for index in chosen):
+        cluster_cases = by_sheet[sheet_keys[key_index]]
+        draws = rng.integers(len(cluster_cases), size=config.serve_cluster_size)
+        clusters.append(tuple(cluster_cases[int(draw)] for draw in draws))
+    return tuple(clusters)
 
 
 def generate_workload(seed: int, config: Optional[WorkloadConfig] = None) -> Workload:
@@ -218,7 +261,7 @@ def generate_workload(seed: int, config: Optional[WorkloadConfig] = None) -> Wor
                     if available[tenant]
                     else ("remove" if indexed[tenant] else "recommend")
                 )
-        if kind in ("recommend", "evaluate") and not cases[tenant]:
+        if kind in ("recommend", "serve", "evaluate") and not cases[tenant]:
             # A tenant without sampleable cases still exercises mutation:
             # prefer an add/remove, else emit an (empty) evaluate no-op.
             if available[tenant]:
@@ -271,6 +314,17 @@ def generate_workload(seed: int, config: Optional[WorkloadConfig] = None) -> Wor
                     tenant=tenant,
                     kind="recommend",
                     cases=tuple(cases[tenant][int(index)] for index in sorted(chosen)),
+                )
+            )
+        elif kind == "serve":
+            clusters = _draw_serve_burst(rng, cases[tenant], config)
+            ops.append(
+                WorkloadOp(
+                    step=step,
+                    tenant=tenant,
+                    kind="serve",
+                    cases=tuple(case for cluster in clusters for case in cluster),
+                    clusters=clusters,
                 )
             )
         else:  # evaluate: the tenant's whole case set, in order

@@ -246,9 +246,14 @@ class TestLatencyRecorder:
         assert len(recorder) == 4
         assert recorder.total_seconds == pytest.approx(0.010)
         assert recorder.mean_seconds == pytest.approx(0.0025)
-        assert recorder.percentile(0.5) == pytest.approx(0.002)
+        # Interpolated percentiles: p50 of an even count sits between the
+        # two middle samples instead of snapping to the nearest rank.
+        assert recorder.percentile(0.5) == pytest.approx(0.0025)
         assert recorder.percentile(1.0) == pytest.approx(0.004)
         assert recorder.percentile(0.0) == pytest.approx(0.001)
+        p50, p95, p99 = recorder.percentiles((0.5, 0.95, 0.99))
+        assert p50 == pytest.approx(0.0025)
+        assert p50 <= p95 <= p99 <= 0.004
 
     def test_summary(self):
         recorder = LatencyRecorder()
@@ -256,6 +261,7 @@ class TestLatencyRecorder:
         summary = recorder.summary()
         assert summary["count"] == 1.0
         assert summary["p50_seconds"] == summary["p95_seconds"] == 0.5
+        assert summary["p99_seconds"] == 0.5
         assert summary["max_seconds"] == 0.5
 
     def test_empty_recorder(self):
@@ -284,4 +290,4 @@ class TestLatencyRecorder:
         assert recorder.summary()["max_seconds"] == 9.0
         # ... while percentiles see only the most recent window_size.
         assert recorder.percentile(1.0) == 4.0
-        assert recorder.percentile(0.5) == 2.0
+        assert recorder.percentile(0.5) == 2.5

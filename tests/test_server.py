@@ -1,0 +1,432 @@
+"""Tests for the network serving front-end (real sockets, ephemeral ports).
+
+Covers the ISSUE 7 tentpole guarantees: wire round-trip parity with
+direct ``FormulaService`` calls, coalesced-batch parity with sequential
+serving, admission-control status codes (429 rate limit, 503 shed/drain
+with ``Retry-After``), graceful drain, and the observability surface
+(``/stats`` queue depth, batch histogram, coalescing ratio, p50/p99).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import AutoFormulaConfig, FormulaService
+from repro.core.interface import FormulaPredictor, Prediction
+from repro.corpus import sample_test_cases, split_corpus
+from repro.server import (
+    AdmissionConfig,
+    FormulaClient,
+    ServerConfig,
+    ServerError,
+    SheetInterner,
+    TokenBucket,
+    run_client_swarm,
+    start_server_in_background,
+)
+from repro.server.schemas import _json_safe
+from repro.service import RecommendationRequest
+from repro.sheet import Sheet, Workbook
+from repro.sheet.io import sheet_to_dict
+from repro.testing import WorkloadConfig, generate_workload
+
+
+class _StubPredictor(FormulaPredictor):
+    """Cheap deterministic predictor; optional per-batch serving delay."""
+
+    name = "stub"
+
+    def __init__(self, delay_seconds: float = 0.0):
+        self.delay_seconds = delay_seconds
+        self.cells_predicted = 0
+
+    def fit(self, reference_workbooks):
+        pass
+
+    def predict(self, target_sheet, target_cell):
+        return self.predict_batch(target_sheet, [target_cell])[0]
+
+    def predict_batch(self, target_sheet, target_cells):
+        if self.delay_seconds:
+            time.sleep(self.delay_seconds)
+        self.cells_predicted += len(target_cells)
+        return [
+            Prediction(f"=SUM(A1:A{cell.row + 1})", 0.9, {"reference_sheet": "stub"})
+            for cell in target_cells
+        ]
+
+
+def _stub_service(delay_seconds: float = 0.0) -> FormulaService:
+    service = FormulaService()
+    workbook = Workbook(name="wb1")
+    sheet = workbook.add_sheet("Data")
+    sheet.set("A1", 1.0)
+    sheet.set("A2", 2.0)
+    sheet.set("A3", formula="=SUM(A1:A2)")
+    service.create_workspace(
+        "acme", predictor=_StubPredictor(delay_seconds), workbooks=[workbook]
+    )
+    return service
+
+
+def _target_sheet() -> Sheet:
+    sheet = Sheet("Target")
+    sheet.set("A1", 3.0)
+    sheet.set("A2", 4.0)
+    return sheet
+
+
+# ------------------------------------------------------------------ protocol
+
+
+class TestProtocolBasics:
+    def test_health_stats_and_error_codes(self):
+        with start_server_in_background(_stub_service()) as handle:
+            client = FormulaClient(handle.host, handle.port)
+
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["workspaces"] == ["acme"]
+
+            response = client.recommend("acme", _target_sheet(), "A3", request_id="r1")
+            assert response["request_id"] == "r1"
+            assert response["formula"] == "=SUM(A1:A3)"
+            assert response["workspace"] == "acme"
+            assert response["batch_size"] >= 1
+
+            stats = client.stats()
+            assert stats["counters"]["accepted"] == 1
+            assert stats["counters"]["served"] == 1
+            assert "1" in stats["batch_size_histogram"]
+            assert "acme" in stats["queue_depths"]
+            assert "p99_seconds" in stats["workspaces"]["acme"]
+            assert stats["config"]["max_batch_size"] >= 1
+
+            # Unknown workspace and unknown routes are 404s.
+            with pytest.raises(ServerError) as excinfo:
+                client.recommend("nope", _target_sheet(), "A1")
+            assert excinfo.value.status == 404
+            status, __, body = client.request("GET", "/v1/nope")
+            assert status == 404 and body["error"] == "not_found"
+
+            # Malformed JSON and schema violations are 400s.
+            connection_status, __, body = client.request(
+                "POST", "/v1/workspaces/acme/recommend", {"cell": "A1"}
+            )
+            assert connection_status == 400 and body["error"] == "schema_error"
+            status, __, body = client.request(
+                "POST", "/v1/workspaces/acme/recommend", {"sheet": {}, "cell": "???"}
+            )
+            assert status == 400
+
+    def test_mutation_endpoints_round_trip(self):
+        service = _stub_service()
+        workspace = service.workspace("acme")
+        with start_server_in_background(service) as handle:
+            client = FormulaClient(handle.host, handle.port)
+
+            # Live edit: value write recalculates the dependent SUM.
+            result = client.edit_cell("acme", "wb1", "Data", "A1", value=10.0)
+            assert result["recalc"]["recalculated"] == 1
+            assert result["recalc"]["errored"] == 0
+            edited = workspace.workbooks()[0].get_sheet("Data")
+            assert edited.get("A1").value == 10.0
+            assert edited.get("A3").value == 12.0
+
+            # Formula write through the same endpoint.
+            result = client.edit_cell("acme", "wb1", "Data", "A4", formula="=A3*2")
+            assert result["recalc"]["recalculated"] >= 1
+            assert edited.get("A4").value == 24.0
+
+            # Add then remove a workbook.
+            extra = Workbook(name="wb2")
+            extra.add_sheet("X").set("A1", 5.0)
+            added = client.add_workbooks("acme", [extra])
+            assert added["added"] == ["wb2"] and added["indexed_workbooks"] == 2
+            with pytest.raises(ServerError) as excinfo:
+                client.add_workbooks("acme", [extra])
+            assert excinfo.value.status == 409
+            removed = client.remove_workbook("acme", "wb2")
+            assert removed["indexed_workbooks"] == 1
+            with pytest.raises(ServerError) as excinfo:
+                client.remove_workbook("acme", "wb2")
+            assert excinfo.value.status == 404
+
+            # Edit validation: both operands is a 400, unknown workbook 404.
+            status, __, body = client.request(
+                "POST",
+                "/v1/workspaces/acme/edit-cell",
+                {"workbook": "wb1", "sheet": "Data", "cell": "A1", "value": 1, "formula": "=1"},
+            )
+            assert status == 400
+            with pytest.raises(ServerError) as excinfo:
+                client.edit_cell("acme", "ghost", "Data", "A1", value=1.0)
+            assert excinfo.value.status == 404
+
+
+# -------------------------------------------------------------------- parity
+
+
+@pytest.fixture(scope="module")
+def serving_corpus(trained_encoder, pge_corpus):
+    """A small real corpus + cases and a directly-served twin workspace."""
+    test_workbooks, references = split_corpus(pge_corpus, 0.15, "timestamp")
+    references = references[:5]
+    cases = sample_test_cases("PGE", test_workbooks, max_per_sheet=2, seed=0)[:8]
+    direct = FormulaService(trained_encoder, AutoFormulaConfig())
+    direct.create_workspace("pge", workbooks=references)
+    return references, cases, direct.workspace("pge")
+
+
+class TestWireParity:
+    """Wire serving must be bit-identical to direct FormulaService calls."""
+
+    def _assert_wire_matches_direct(self, wire, direct_response):
+        if direct_response.formula is None:
+            assert wire["formula"] is None
+            assert wire["abstain_reason"] == direct_response.abstain_reason.value
+        else:
+            assert wire["formula"] == direct_response.formula
+            assert wire["confidence"] == pytest.approx(direct_response.confidence, abs=0.0)
+            assert wire["abstain_reason"] is None
+            assert wire["provenance"] == _json_safe(direct_response.provenance)
+
+    def test_round_trip_parity_with_direct_service(
+        self, trained_encoder, serving_corpus
+    ):
+        references, cases, direct_workspace = serving_corpus
+        service = FormulaService(trained_encoder, AutoFormulaConfig())
+        service.create_workspace("pge", workbooks=references)
+        with start_server_in_background(service) as handle:
+            client = FormulaClient(handle.host, handle.port)
+            for case in cases:
+                wire = client.recommend(
+                    "pge", sheet_to_dict(case.target_sheet), case.target_cell.to_a1()
+                )
+                direct_response = direct_workspace.recommend(
+                    RecommendationRequest(case.target_sheet, case.target_cell)
+                )
+                self._assert_wire_matches_direct(wire, direct_response)
+
+    def test_coalesced_burst_parity_and_ratio(self, trained_encoder, serving_corpus):
+        references, cases, direct_workspace = serving_corpus
+        service = FormulaService(trained_encoder, AutoFormulaConfig())
+        service.create_workspace("pge", workbooks=references)
+        # Burst: every case fired concurrently; generous window + cap equal
+        # to the burst size make the coalescing outcome deterministic.
+        config = ServerConfig(max_batch_size=len(cases), max_batch_wait_s=0.25)
+        with start_server_in_background(service, config) as handle:
+            tasks = [
+                (sheet_to_dict(case.target_sheet), case.target_cell.to_a1())
+                for case in cases
+            ]
+            result = run_client_swarm(
+                handle.host, handle.port, "pge", tasks, concurrency=len(tasks)
+            )
+            stats = FormulaClient(handle.host, handle.port).stats()
+
+        assert result.statuses == [200] * len(cases)
+        # The burst actually coalesced: fewer batches than requests.
+        assert stats["coalescing_ratio"] > 1.0
+        assert max(response["batch_size"] for response in result.responses) > 1
+
+        # Bit-parity: each wire response equals the direct sequential serve.
+        by_id = {response["request_id"]: response for response in result.responses}
+        direct_responses = direct_workspace.serve_batch(
+            [
+                RecommendationRequest(case.target_sheet, case.target_cell)
+                for case in cases
+            ]
+        )
+        for position, direct_response in enumerate(direct_responses):
+            self._assert_wire_matches_direct(by_id[str(position)], direct_response)
+
+    def test_workload_serve_burst_through_server(self, trained_encoder):
+        """The workload generator's ``serve`` bursts drive wire coalescing."""
+        workload = generate_workload(
+            13,
+            WorkloadConfig(
+                n_tenants=1,
+                n_steps=6,
+                op_weights=(0.0, 0.0, 0.0, 0.0, 1.0, 0.0),
+                initial_workbooks=2,
+                serve_clusters=2,
+                serve_cluster_size=4,
+            ),
+        )
+        serve_ops = [op for op in workload.ops if op.kind == "serve"]
+        assert serve_ops, "workload drew no serve bursts"
+        tenant = workload.tenants[0]
+
+        config = AutoFormulaConfig()
+        service = FormulaService(trained_encoder, config)
+        workbooks = [op.workbook for op in workload.ops if op.kind == "add"]
+        service.create_workspace(
+            tenant, workbooks=[workbook.copy() for workbook in workbooks]
+        )
+        direct = FormulaService(trained_encoder, config).create_workspace(
+            "direct", workbooks=[workbook.copy() for workbook in workbooks]
+        )
+
+        burst = serve_ops[0]
+        server_config = ServerConfig(max_batch_size=len(burst.cases), max_batch_wait_s=0.25)
+        with start_server_in_background(service, server_config) as handle:
+            tasks = [
+                (sheet_to_dict(case.target_sheet), case.target_cell.to_a1())
+                for case in burst.cases
+            ]
+            result = run_client_swarm(
+                handle.host, handle.port, tenant, tasks, concurrency=len(tasks)
+            )
+
+        assert result.statuses == [200] * len(burst.cases)
+        direct_responses = direct.serve_batch(
+            [
+                RecommendationRequest(case.target_sheet, case.target_cell)
+                for case in burst.cases
+            ]
+        )
+        by_id = {response["request_id"]: response for response in result.responses}
+        for position, direct_response in enumerate(direct_responses):
+            self._assert_wire_matches_direct(by_id[str(position)], direct_response)
+
+
+class TestDuplicateCollapsing:
+    def test_identical_requests_compute_once_and_fan_out(self):
+        service = _stub_service()
+        predictor = service.workspace("acme").predictor
+        config = ServerConfig(max_batch_size=8, max_batch_wait_s=0.25)
+        with start_server_in_background(service, config) as handle:
+            # Eight byte-identical (sheet, cell) requests fired concurrently:
+            # the interner maps them to one Sheet, the batcher collapses them
+            # to one predicted cell, and each caller still gets its own echo.
+            tasks = [(sheet_to_dict(_target_sheet()), "A3") for __ in range(8)]
+            result = run_client_swarm(handle.host, handle.port, "acme", tasks, concurrency=8)
+            stats = FormulaClient(handle.host, handle.port).stats()
+
+        assert result.statuses == [200] * 8
+        assert {response["request_id"] for response in result.responses} == {
+            str(position) for position in range(8)
+        }
+        assert {response["formula"] for response in result.responses} == {"=SUM(A1:A3)"}
+        assert predictor.cells_predicted < 8
+        assert stats["counters"]["collapsed_duplicates"] >= 8 - predictor.cells_predicted
+        assert stats["counters"]["served"] == 8
+
+
+# ----------------------------------------------------------------- admission
+
+
+class TestAdmissionControl:
+    def test_rate_limit_answers_429_with_retry_after(self):
+        config = ServerConfig(
+            admission=AdmissionConfig(rate_limit_per_tenant=0.001, rate_limit_burst=1.0)
+        )
+        with start_server_in_background(_stub_service(), config) as handle:
+            client = FormulaClient(handle.host, handle.port)
+            first = client.recommend("acme", _target_sheet(), "A3")
+            assert first["formula"] is not None
+            with pytest.raises(ServerError) as excinfo:
+                client.recommend("acme", _target_sheet(), "A3")
+            assert excinfo.value.status == 429
+            assert excinfo.value.body["error"] == "rate_limited"
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after > 0
+            assert FormulaClient(handle.host, handle.port).stats()["counters"][
+                "rejected_rate_limited"
+            ] == 1
+
+    def test_full_queue_sheds_with_503(self):
+        config = ServerConfig(
+            max_batch_size=1,
+            executor_workers=1,
+            admission=AdmissionConfig(queue_limit=2),
+        )
+        service = _stub_service(delay_seconds=0.2)
+        with start_server_in_background(service, config) as handle:
+            tasks = [(sheet_to_dict(_target_sheet()), "A3") for __ in range(6)]
+            result = run_client_swarm(handle.host, handle.port, "acme", tasks, concurrency=6)
+            stats = FormulaClient(handle.host, handle.port).stats()
+
+        shed = [status for status in result.statuses if status == 503]
+        served = [status for status in result.statuses if status == 200]
+        assert shed, "expected at least one queue-full rejection"
+        assert served, "expected at least one served request"
+        assert stats["counters"]["rejected_queue_full"] == len(shed)
+        rejected = next(
+            body for status, body in zip(result.statuses, result.responses) if status == 503
+        )
+        assert rejected["error"] == "queue_full"
+
+    def test_graceful_drain_finishes_inflight_and_refuses_new(self):
+        service = _stub_service(delay_seconds=0.6)
+        handle = start_server_in_background(service)
+        inflight_result = {}
+
+        def inflight_request():
+            client = FormulaClient(handle.host, handle.port)
+            inflight_result["response"] = client.recommend("acme", _target_sheet(), "A3")
+
+        worker = threading.Thread(target=inflight_request)
+        worker.start()
+        time.sleep(0.15)  # request is now executing in the server's pool
+
+        shutdown = threading.Thread(target=handle.shutdown)
+        shutdown.start()
+        time.sleep(0.1)  # drain flag is set, batcher still busy
+
+        drain_client = FormulaClient(handle.host, handle.port)
+        assert drain_client.health()["status"] == "draining"
+        with pytest.raises(ServerError) as excinfo:
+            drain_client.recommend("acme", _target_sheet(), "A3")
+        assert excinfo.value.status == 503
+        assert excinfo.value.body["error"] == "draining"
+
+        worker.join(timeout=5)
+        shutdown.join(timeout=5)
+        # The in-flight request was served to completion, not dropped.
+        assert inflight_result["response"]["formula"] == "=SUM(A1:A3)"
+
+
+# ----------------------------------------------------------------- internals
+
+
+class TestInternals:
+    def test_sheet_interner_shares_identical_payloads(self):
+        interner = SheetInterner(max_entries=2)
+        payload = sheet_to_dict(_target_sheet())
+        first = interner.intern(payload)
+        second = interner.intern(sheet_to_dict(_target_sheet()))
+        assert first is second
+        assert interner.hits == 1 and interner.misses == 1
+
+        other = Sheet("Other")
+        other.set("B2", 7.0)
+        assert interner.intern(sheet_to_dict(other)) is not first
+        # LRU bound: a third distinct sheet evicts the least recent.
+        third = Sheet("Third")
+        third.set("C3", 1.0)
+        interner.intern(sheet_to_dict(third))
+        assert len(interner) == 2
+
+    def test_token_bucket_refill_and_retry_after(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.try_acquire(0.0) is None
+        assert bucket.try_acquire(0.0) is None
+        wait = bucket.try_acquire(0.0)
+        assert wait == pytest.approx(0.5)
+        # Half a second later one token has accrued.
+        assert bucket.try_acquire(0.5) is None
+        assert bucket.try_acquire(0.5) == pytest.approx(0.5)
+
+    def test_json_safe_handles_numpy_and_objects(self):
+        import numpy as np
+
+        encoded = _json_safe(
+            {"d": np.float32(0.5), "n": 3, "addr": Sheet("X"), "t": (1, "a")}
+        )
+        assert encoded["d"] == 0.5 and isinstance(encoded["d"], float)
+        assert encoded["n"] == 3
+        assert isinstance(encoded["addr"], str)
+        assert encoded["t"] == [1, "a"]

@@ -45,7 +45,7 @@ SMALL_WORKLOAD = WorkloadConfig(
 EDIT_WORKLOAD = WorkloadConfig(
     n_tenants=1,
     n_steps=12,
-    op_weights=(0.2, 0.1, 0.45, 0.2, 0.05),
+    op_weights=(0.2, 0.1, 0.45, 0.1, 0.1, 0.05),
     n_families=2,
     min_copies=2,
     max_copies=3,
@@ -112,6 +112,15 @@ class TestWorkloadDeterminism:
                 assert isinstance(op.value, float)
             elif op.kind == "recommend":
                 assert op.cases
+            elif op.kind == "serve":
+                # A burst is non-empty, its clusters are same-sheet, and
+                # ``cases`` is exactly the flattened cluster stream.
+                assert op.clusters
+                for cluster in op.clusters:
+                    assert len({(c.workbook_name, c.sheet_name) for c in cluster}) == 1
+                assert op.cases == tuple(
+                    case for cluster in op.clusters for case in cluster
+                )
 
     def test_replay_is_deterministic(self, trained_encoder):
         workload = generate_workload(7, SMALL_WORKLOAD)
