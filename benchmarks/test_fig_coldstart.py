@@ -1,0 +1,100 @@
+"""Cold start: restoring a workspace from a snapshot vs refitting it.
+
+The durability story (``repro.persistence``) only pays off if loading a
+snapshot is materially cheaper than re-embedding and re-indexing the
+corpus.  This benchmark sweeps the Figure 8 corpus sizes and, at each
+size, measures (a) the fresh-fit time — build a workspace and fit the
+full Auto-Formula pipeline on the reference pool, (b) the one-off
+snapshot save time, and (c) the snapshot-load time with memory-mapped
+array blocks.  A restored workspace must answer the probe queries
+exactly like the fresh one (the restore-parity acceptance invariant,
+spot-checked here end to end).
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import AutoFormula, AutoFormulaConfig
+from repro.service import RecommendationRequest, Workspace
+from repro.testing import assert_responses_match
+
+from test_fig8_scalability import SWEEP_SIZES, _build_reference_pool
+
+
+def test_fig_coldstart(benchmark, encoder, workloads_timestamp, report_writer):
+    query_cases = workloads_timestamp["PGE"].cases[:5]
+    config = AutoFormulaConfig()
+
+    def run_sweep():
+        fit_seconds = {}
+        save_seconds = {}
+        load_seconds = {}
+        for size in SWEEP_SIZES:
+            reference = _build_reference_pool(size)
+            directory = Path(tempfile.mkdtemp(prefix=f"coldstart_{size}_")) / "snap"
+
+            start = time.perf_counter()
+            fresh = Workspace(f"fresh-{size}", AutoFormula(encoder, config))
+            fresh.add_workbooks(reference)
+            fresh_responses = fresh.serve_batch(
+                [
+                    RecommendationRequest(case.target_sheet, case.target_cell)
+                    for case in query_cases
+                ]
+            )
+            fit_seconds[size] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            fresh.save(directory)
+            save_seconds[size] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            restored = Workspace.load(directory, AutoFormula(encoder, config))
+            restored_responses = restored.serve_batch(
+                [
+                    RecommendationRequest(case.target_sheet, case.target_cell)
+                    for case in query_cases
+                ]
+            )
+            load_seconds[size] = time.perf_counter() - start
+
+            assert_responses_match(
+                fresh_responses, restored_responses, context=f"coldstart size={size}"
+            )
+        return fit_seconds, save_seconds, load_seconds
+
+    fit_seconds, save_seconds, load_seconds = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Cold start: snapshot restore vs fresh fit (seconds, incl. 5 probe queries)",
+        "",
+        f"{'phase':28s} " + " ".join(f"{size:>10d}" for size in SWEEP_SIZES),
+    ]
+    for label, values in [
+        ("fresh fit + first serve", fit_seconds),
+        ("snapshot save", save_seconds),
+        ("snapshot load + first serve", load_seconds),
+    ]:
+        lines.append(
+            f"{label:28s} " + " ".join(f"{values[size]:>10.3f}" for size in SWEEP_SIZES)
+        )
+    speedup = {
+        size: fit_seconds[size] / max(load_seconds[size], 1e-9) for size in SWEEP_SIZES
+    }
+    lines.append("")
+    lines.append(
+        f"{'restore speedup (x)':28s} "
+        + " ".join(f"{speedup[size]:>10.1f}" for size in SWEEP_SIZES)
+    )
+    report_writer("fig_coldstart", lines)
+
+    # Loading skips embedding + index construction entirely, so it must be
+    # decisively cheaper than refitting at every swept size.
+    for size in SWEEP_SIZES:
+        assert load_seconds[size] < fit_seconds[size], (
+            f"snapshot load ({load_seconds[size]:.3f}s) not cheaper than fresh "
+            f"fit ({fit_seconds[size]:.3f}s) at {size} workbooks"
+        )

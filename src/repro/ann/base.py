@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
@@ -291,6 +291,69 @@ class VectorIndex(abc.ABC):
                 ]
             )
         return results
+
+    # ------------------------------------------------------------- persistence
+
+    def store_state(self) -> Dict[str, np.ndarray]:
+        """The raw store, sized to ``_size``, for snapshot serialization.
+
+        Keys are deliberately *not* included: they are caller-provided
+        hashables whose encoding the owner of the index knows (stable sheet
+        ids, ``(sheet id, local)`` pairs, ...), so the owner serializes
+        them alongside these blocks.  ``sq_norms`` is persisted rather than
+        recomputed on load — restored distances must be bit-identical to
+        the live index's, and recomputation could differ in accumulation
+        order.
+        """
+        return {
+            "matrix": self._matrix[: self._size],
+            "sq_norms": self._sq_norms[: self._size],
+            "alive": self._alive[: self._size],
+        }
+
+    def restore_store(
+        self,
+        keys: Sequence[Hashable],
+        matrix: np.ndarray,
+        sq_norms: np.ndarray,
+        alive: np.ndarray,
+    ) -> None:
+        """Adopt a previously exported store (the snapshot-load path).
+
+        ``matrix`` and ``sq_norms`` may be read-only memory-maps: every
+        write path reallocates first (``_ensure_capacity`` copies on the
+        next add because capacity equals size after a restore, and
+        compaction gathers into a fresh array), so the mmap backing is
+        never written through.  ``alive`` is copied because removals flip
+        its entries in place.  Derived structures (inverted lists, hash
+        buckets, quantizers) are rebuilt through the same ``_rebuild``
+        hook compaction uses, which is what makes a restored index answer
+        exactly like a freshly built one over the same live vectors.
+        """
+        matrix = np.asanyarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != self._dimension:
+            raise ValueError(
+                f"restored matrix has shape {matrix.shape}, index expects "
+                f"(n, {self._dimension})"
+            )
+        size = matrix.shape[0]
+        if len(keys) != size or len(sq_norms) != size or len(alive) != size:
+            raise ValueError(
+                f"inconsistent restored store: {len(keys)} keys, {size} vectors, "
+                f"{len(sq_norms)} norms, {len(alive)} liveness flags"
+            )
+        if matrix.dtype != np.float32:
+            matrix = matrix.astype(np.float32)
+        self._matrix = matrix
+        self._sq_norms = np.asanyarray(sq_norms)
+        if self._sq_norms.dtype != np.float32:
+            self._sq_norms = self._sq_norms.astype(np.float32)
+        self._alive = np.array(alive, dtype=bool)
+        self._keys = list(keys)
+        self._size = size
+        self._n_dead = size - int(np.count_nonzero(self._alive))
+        self._live_scan = None
+        self._rebuild()
 
     # --------------------------------------------------------------- subclass
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -529,6 +529,151 @@ class AutoFormula(FormulaPredictor):
         sheet bookkeeping onto each shard's ids without peeking inside.
         """
         return len(self._reference_sheets)
+
+    # ------------------------------------------------------------- persistence
+
+    def snapshot_state(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Export the fitted state as ``(manifest fragment, raw arrays)``.
+
+        The manifest fragment is JSON-ready bookkeeping (reference-sheet
+        registry with tombstones, index kinds for load-time validation);
+        the arrays are the two indexes' contiguous stores plus the
+        physical-position maps, kept as raw blocks so a snapshot loader
+        can memory-map them.  Embedding caches are deliberately *not*
+        exported: both a fresh fit and a restored predictor compute
+        query-time embeddings with identical batch shapes, so the caches
+        are pure warm-up state.
+        """
+        state: Dict[str, object] = {
+            "predictor": type(self).__name__,
+            "granularity": self.config.granularity,
+            "sheet_index_kind": self.config.sheet_index_kind,
+            "formula_index_kind": self.config.formula_index_kind,
+            "fitted": self._sheet_index is not None,
+            "sheet_store_size": int(self._sheet_store_size),
+            "formula_store_size": int(self._formula_store_size),
+            "reference_sheets": [
+                None
+                if reference is None
+                else {
+                    "workbook": reference.workbook_name,
+                    "sheet": reference.sheet.name,
+                    "formulas": [
+                        [formula.address.to_a1(), formula.formula]
+                        for formula in reference.formulas
+                    ],
+                }
+                for reference in self._reference_sheets
+            ],
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        if self._sheet_index is not None:
+            for name, block in self._sheet_index.store_state().items():
+                arrays[f"sheet_{name}"] = block
+            arrays["sheet_keys"] = np.asarray(self._sheet_index._keys, dtype=np.int64)
+            for name, block in self._formula_index.store_state().items():
+                arrays[f"formula_{name}"] = block
+            formula_keys = self._formula_index._keys
+            arrays["formula_keys"] = (
+                np.asarray(formula_keys, dtype=np.int64)
+                if formula_keys
+                else np.empty((0, 2), dtype=np.int64)
+            )
+            arrays["sheet_positions"] = np.asarray(
+                [-1 if position is None else position for position in self._sheet_positions],
+                dtype=np.int64,
+            )
+            live_position_blocks = [
+                positions
+                for positions in self._formula_positions
+                if positions is not None
+            ]
+            arrays["formula_positions_flat"] = (
+                np.concatenate(live_position_blocks).astype(np.int64)
+                if live_position_blocks
+                else np.empty(0, dtype=np.int64)
+            )
+            offsets = [0]
+            for positions in self._formula_positions:
+                offsets.append(offsets[-1] + (0 if positions is None else len(positions)))
+            arrays["formula_positions_offsets"] = np.asarray(offsets, dtype=np.int64)
+        return state, arrays
+
+    def restore_snapshot_state(
+        self,
+        state: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+        resolve_sheet: Callable[[str, str], Sheet],
+    ) -> None:
+        """Adopt a :meth:`snapshot_state` export onto this (fresh) predictor.
+
+        ``resolve_sheet`` maps ``(workbook name, sheet name)`` to the live
+        :class:`Sheet` object of the restored corpus, so reference-sheet
+        entries point at the same objects the owning workspace serves and
+        edits.  The configured index kinds must match the snapshot's: the
+        stored vectors are index-kind-agnostic, but silently re-homing an
+        IVF store under an LSH config would not reproduce the snapshotting
+        predictor's answers.  Raises ``ValueError`` on any mismatch.
+        """
+        for field, mine in (
+            ("granularity", self.config.granularity),
+            ("sheet_index_kind", self.config.sheet_index_kind),
+            ("formula_index_kind", self.config.formula_index_kind),
+        ):
+            theirs = state.get(field)
+            if theirs != mine:
+                raise ValueError(
+                    f"snapshot was taken with {field}={theirs!r}, this predictor "
+                    f"is configured with {mine!r}"
+                )
+        self.fit([])  # reset indexes, caches and bookkeeping to a blank fit
+        references: List[Optional[_ReferenceSheet]] = []
+        for sheet_id, entry in enumerate(state.get("reference_sheets", [])):
+            if entry is None:
+                references.append(None)
+                continue
+            sheet = resolve_sheet(str(entry["workbook"]), str(entry["sheet"]))
+            references.append(
+                _ReferenceSheet(
+                    workbook_name=str(entry["workbook"]),
+                    sheet=sheet,
+                    formulas=[
+                        _ReferenceFormula(sheet_id, CellAddress.from_a1(a1), formula)
+                        for a1, formula in entry["formulas"]
+                    ],
+                )
+            )
+        self._reference_sheets = references
+        if not state.get("fitted", False):
+            self._sheet_index = None
+            self._formula_index = None
+            return
+        self._sheet_index.restore_store(
+            [int(key) for key in arrays["sheet_keys"]],
+            arrays["sheet_matrix"],
+            arrays["sheet_sq_norms"],
+            arrays["sheet_alive"],
+        )
+        self._formula_index.restore_store(
+            [(int(sheet_id), int(local)) for sheet_id, local in arrays["formula_keys"]],
+            arrays["formula_matrix"],
+            arrays["formula_sq_norms"],
+            arrays["formula_alive"],
+        )
+        self._sheet_positions = [
+            None if position < 0 else int(position)
+            for position in arrays["sheet_positions"]
+        ]
+        flat = np.asarray(arrays["formula_positions_flat"], dtype=np.int64)
+        offsets = arrays["formula_positions_offsets"]
+        self._formula_positions = [
+            None
+            if reference is None
+            else flat[int(offsets[sheet_id]) : int(offsets[sheet_id + 1])].copy()
+            for sheet_id, reference in enumerate(references)
+        ]
+        self._sheet_store_size = int(state["sheet_store_size"])
+        self._formula_store_size = int(state["formula_store_size"])
 
     @property
     def sheet_index(self):

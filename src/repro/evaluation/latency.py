@@ -103,17 +103,49 @@ class LatencyRecorder:
             values.append(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
         return values
 
+    @property
+    def window_count(self) -> int:
+        """Number of samples currently in the percentile window."""
+        with self._mutex:
+            return len(self._window)
+
     def summary(self) -> Dict[str, float]:
-        """Count, total, mean, p50/p95/p99 (recent window) and max."""
-        p50, p95, p99 = self.percentiles((0.5, 0.95, 0.99))
+        """Count, total, mean, p50/p95/p99 (recent window) and max.
+
+        ``count`` / ``total_seconds`` / ``mean_seconds`` / ``max_seconds``
+        are all-time aggregates; the percentiles cover only the most
+        recent ``window_count`` samples.  ``window_count`` is reported so
+        readers can tell the two populations apart — on a long-lived
+        workspace a p99 over the last 8k samples says nothing about the
+        millions ``count`` witnessed.
+        """
+        with self._mutex:
+            count = self._count
+            total = self._total
+            maximum = self._max
+            window = list(self._window)
+        if window:
+            ordered = sorted(window)
+            last = len(ordered) - 1
+            percentiles = []
+            for fraction in (0.5, 0.95, 0.99):
+                position = fraction * last
+                lower = int(position)
+                upper = min(lower + 1, last)
+                weight = position - lower
+                percentiles.append(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+            p50, p95, p99 = percentiles
+        else:
+            p50 = p95 = p99 = 0.0
         return {
-            "count": float(self._count),
-            "total_seconds": self.total_seconds,
-            "mean_seconds": self.mean_seconds,
+            "count": float(count),
+            "window_count": float(len(window)),
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
             "p50_seconds": p50,
             "p95_seconds": p95,
             "p99_seconds": p99,
-            "max_seconds": self._max,
+            "max_seconds": maximum,
         }
 
 

@@ -44,20 +44,41 @@ class TokenBucket:
     ``try_acquire`` either takes the tokens and returns ``None`` or leaves
     the bucket untouched and returns the seconds until enough tokens will
     have accumulated (the ``Retry-After`` hint).
+
+    The refill watermark is *clamped*: it never moves backwards.  A clock
+    that rewinds (an NTP step on a wall clock, a mocked clock in tests)
+    must not make the bucket re-grant an interval it already credited —
+    with an unclamped watermark, ``t=100 → t=0 → t=100`` would hand out
+    ``100 * rate`` phantom tokens.  Time observably stands still until
+    the clock passes the watermark again.  ``now`` defaults to
+    ``clock()`` (:func:`time.monotonic` unless overridden), so direct
+    callers get a non-rewinding clock without plumbing one.
     """
 
-    def __init__(self, rate: float, burst: float) -> None:
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if rate <= 0 or burst <= 0:
             raise ValueError("rate and burst must be positive")
         self.rate = float(rate)
         self.burst = float(burst)
+        self._clock = clock
         self._tokens = float(burst)
         self._last_refill: Optional[float] = None
 
-    def try_acquire(self, now: float, n: float = 1.0) -> Optional[float]:
-        if self._last_refill is not None and now > self._last_refill:
-            self._tokens = min(self.burst, self._tokens + (now - self._last_refill) * self.rate)
-        self._last_refill = now
+    def try_acquire(self, now: Optional[float] = None, n: float = 1.0) -> Optional[float]:
+        if now is None:
+            now = self._clock()
+        if self._last_refill is None:
+            self._last_refill = now
+        elif now > self._last_refill:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last_refill) * self.rate
+            )
+            self._last_refill = now
         if self._tokens >= n:
             self._tokens -= n
             return None

@@ -13,7 +13,9 @@ One :class:`ServerMetrics` instance per server aggregates everything the
 * per-endpoint wall-clock latency, recorded on
   :class:`~repro.evaluation.latency.LatencyRecorder` instances whose
   :meth:`~repro.evaluation.latency.LatencyRecorder.summary` (count /
-  p50 / p95 / p99 / max) is reused verbatim — the serving front-end and
+  window_count / p50 / p95 / p99 / max, the percentiles window-scoped
+  and ``window_count`` saying over how many samples) is reused verbatim
+  — the serving front-end and
   the offline benchmarks report latency through one code path.
 
 Counters are touched from the event loop *and* from executor threads

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.config import AutoFormulaConfig
 from repro.core.interface import FormulaPredictor
 from repro.core.pipeline import AutoFormula
 from repro.models.encoder import SheetEncoder
+from repro.persistence.snapshot import SnapshotFormatError, read_manifest
 from repro.service.sharding import ShardedWorkspace
 from repro.service.workspace import Workspace
 from repro.sheet.workbook import Workbook
@@ -90,6 +92,62 @@ class FormulaService:
         workspace = ShardedWorkspace(name, predictor_factory, n_shards)
         workspace.add_workbooks(workbooks)
         self._workspaces[name] = workspace
+        return workspace
+
+    # ------------------------------------------------------------- durability
+
+    def _default_predictor_factory(self) -> Callable[[], FormulaPredictor]:
+        if self._encoder is None:
+            raise ValueError(
+                "this service was built without an encoder, so it cannot "
+                "construct the default AutoFormula predictors a snapshot "
+                "restore needs"
+            )
+        encoder = self._encoder
+        config = self._config or AutoFormulaConfig()
+        return lambda: AutoFormula(encoder, config)
+
+    def save_workspace(self, name: str, directory: Union[str, Path]) -> Path:
+        """Snapshot the workspace called ``name`` to ``directory``.
+
+        Delegates to :meth:`Workspace.save` / :meth:`ShardedWorkspace.save`
+        — afterwards the workspace keeps appending its mutations to the
+        snapshot's log, so the snapshot stays reloadable and current.
+        """
+        return self._workspaces[name].save(directory)
+
+    def load_workspace(
+        self, directory: Union[str, Path], name: Optional[str] = None
+    ) -> AnyWorkspace:
+        """Restore (and register) a workspace from a snapshot directory.
+
+        The manifest's ``kind`` field decides whether a plain or sharded
+        workspace is rebuilt; predictors are constructed from the
+        service's shared encoder and config, exactly as
+        :meth:`create_workspace` / :meth:`create_sharded_workspace` would.
+        ``name`` overrides the snapshot's stored workspace name.
+        """
+        manifest = read_manifest(directory)
+        kind = manifest.get("kind")
+        registered = str(name or manifest.get("name") or "restored")
+        if registered in self._workspaces:
+            raise ValueError(f"workspace {registered!r} already exists")
+        if kind == "workspace":
+            workspace: AnyWorkspace = Workspace.load(
+                directory,
+                self._default_predictor_factory()(),
+                encoder=self._encoder,
+                name=registered,
+            )
+        elif kind == "sharded_workspace":
+            workspace = ShardedWorkspace.load(
+                directory, self._default_predictor_factory(), name=registered
+            )
+        else:
+            raise SnapshotFormatError(
+                f"snapshot at {directory} holds unknown workspace kind {kind!r}"
+            )
+        self._workspaces[registered] = workspace
         return workspace
 
     def workspace(self, name: str) -> AnyWorkspace:

@@ -47,11 +47,30 @@ import threading
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.interface import FormulaPredictor, Prediction
 from repro.evaluation.latency import LatencyRecorder
 from repro.formula.engine import FormulaEngine, RecalcReport
+from repro.persistence.log import (
+    MutationLog,
+    add_entry,
+    edit_entry,
+    remove_entry,
+    replay_pending_mutations,
+)
+from repro.persistence.snapshot import (
+    SnapshotFormatError,
+    load_arrays,
+    load_corpus,
+    mutation_log_path,
+    read_manifest,
+    save_arrays,
+    save_corpus,
+    sheet_resolver,
+    write_manifest,
+)
 from repro.service.concurrency import ReadWriteLock
 from repro.service.workspace import drop_engines, require_one_edit_operand, sheet_engine
 from repro.sheet.sheet import AddressLike
@@ -147,6 +166,12 @@ class ShardedWorkspace:
         self._engines: Dict[Tuple[str, str], FormulaEngine] = {}
         #: Per-request serving latencies (amortized for batched requests).
         self.latency = LatencyRecorder()
+        #: Durability state, mirroring :class:`Workspace` (see
+        #: :mod:`repro.persistence`).
+        self._mutation_log: Optional[MutationLog] = None
+        self._pending_ops: List[Dict[str, object]] = []
+        self._log_suspended = False
+        self._replay_mutex = threading.RLock()
 
     # ------------------------------------------------------------------ corpus
 
@@ -188,8 +213,11 @@ class ShardedWorkspace:
         workbooks = list(workbooks)
         if not workbooks:
             return
+        self._ensure_log_replayed()
         with self._rwlock.write_lock():
             self._add_workbooks_locked(workbooks)
+            for workbook in workbooks:
+                self._log(add_entry(workbook))
 
     def _add_workbooks_locked(self, workbooks: List[Workbook]) -> None:
         seen = set(self._workbooks)
@@ -273,8 +301,11 @@ class ShardedWorkspace:
         call is retryable — shards that already dropped their slice are
         skipped on the next attempt.
         """
+        self._ensure_log_replayed()
         with self._rwlock.write_lock():
-            return self._remove_workbook_locked(workbook_name)
+            workbook = self._remove_workbook_locked(workbook_name)
+            self._log(remove_entry(workbook_name))
+            return workbook
 
     def _remove_workbook_locked(
         self, workbook_name: str, evict_engines: bool = True
@@ -319,6 +350,7 @@ class ShardedWorkspace:
         workbook ends up un-indexed and a ``RuntimeError`` says so.
         """
         require_one_edit_operand(value, formula)
+        self._ensure_log_replayed()
         with self._rwlock.write_lock():
             if workbook_name not in self._workbooks:
                 raise KeyError(workbook_name)
@@ -343,7 +375,197 @@ class ShardedWorkspace:
                     f"re-indexing {workbook_name!r} after an edit failed; the "
                     "workbook is no longer indexed — add it again to retry"
                 ) from error
+            self._log(
+                edit_entry(workbook_name, sheet_name, address, value=value, formula=formula)
+            )
             return report
+
+    # -------------------------------------------------------------- durability
+
+    def _log(self, entry: Dict[str, object]) -> None:
+        """Append one mutation entry, if a log is attached (post save/load)."""
+        if self._mutation_log is not None and not self._log_suspended:
+            self._mutation_log.append(entry)
+
+    def _ensure_log_replayed(self) -> None:
+        """Replay a loaded snapshot's mutation-log tail on first public use."""
+        replay_pending_mutations(self)
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Snapshot all shards plus the coordinator's routing state.
+
+        The corpus is stored once; each shard's index state goes into
+        array blocks prefixed ``shard<j>_`` so a worker process can pull
+        exactly its slice with :meth:`load_shard`.  The coordinator's
+        placements, per-shard global sequence numbers and the next
+        sequence counter ride in the manifest — they are what make the
+        restored S1 merge tie-break bit-identical.  Semantics otherwise
+        mirror :meth:`Workspace.save`: the log tail is replayed first,
+        then compacted, and the workspace keeps logging to ``directory``.
+        """
+        self._ensure_log_replayed()
+        directory = Path(directory)
+        with self._rwlock.write_lock():
+            shard_states: List[Dict[str, object]] = []
+            arrays: Dict[str, object] = {}
+            for shard, predictor in enumerate(self._predictors):
+                snapshot_state = getattr(predictor, "snapshot_state", None)
+                if snapshot_state is None:
+                    raise TypeError(
+                        f"shard predictor {predictor.name!r} does not support "
+                        "snapshots; durable workspaces need snapshot-capable "
+                        "predictors (AutoFormula)"
+                    )
+                with self._shard_mutexes[shard]:
+                    state, shard_arrays = snapshot_state()
+                shard_states.append(state)
+                for name, block in shard_arrays.items():
+                    arrays[f"shard{shard}_{name}"] = block
+            files = save_corpus(directory, self.workbooks())
+            names = save_arrays(directory, arrays)
+            write_manifest(
+                directory,
+                {
+                    "kind": "sharded_workspace",
+                    "name": self.name,
+                    "n_shards": self.n_shards,
+                    "workbooks": files,
+                    "placements": {
+                        workbook_name: [[shard, stable_id] for shard, stable_id in placement]
+                        for workbook_name, placement in self._placements.items()
+                    },
+                    "global_seq": [
+                        {str(stable_id): sequence for stable_id, sequence in seqs.items()}
+                        for seqs in self._global_seq
+                    ],
+                    "next_seq": self._next_seq,
+                    "shards": shard_states,
+                    "arrays": names,
+                },
+            )
+            log = MutationLog(mutation_log_path(directory))
+            log.clear()
+            self._mutation_log = log
+        return directory
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        predictor_factory: Callable[[], FormulaPredictor],
+        name: Optional[str] = None,
+        mmap: bool = True,
+    ) -> "ShardedWorkspace":
+        """Restore a sharded workspace saved by :meth:`save`.
+
+        ``predictor_factory`` builds one fresh, configuration-compatible
+        predictor per stored shard; each adopts its (memory-mapped by
+        default) array blocks.  The mutation-log tail is stashed for lazy
+        replay exactly like :meth:`Workspace.load`.
+        """
+        directory = Path(directory)
+        manifest = read_manifest(directory)
+        if manifest.get("kind") != "sharded_workspace":
+            raise SnapshotFormatError(
+                f"snapshot at {directory} holds a {manifest.get('kind')!r}, "
+                "not a sharded workspace"
+            )
+        n_shards = int(manifest.get("n_shards", 0))
+        shard_states = manifest.get("shards", [])
+        global_seq = manifest.get("global_seq", [])
+        if len(shard_states) != n_shards or len(global_seq) != n_shards:
+            raise SnapshotFormatError(
+                f"snapshot at {directory} declares {n_shards} shards but stores "
+                f"{len(shard_states)} shard states / {len(global_seq)} sequence maps"
+            )
+        workspace = cls(
+            str(name or manifest.get("name") or "restored"), predictor_factory, n_shards
+        )
+        workbooks = load_corpus(directory, manifest.get("workbooks", []))
+        resolve = sheet_resolver(workbooks)
+        arrays = load_arrays(directory, manifest.get("arrays", []), mmap=mmap)
+        for shard, state in enumerate(shard_states):
+            restore = getattr(workspace._predictors[shard], "restore_snapshot_state", None)
+            if restore is None:
+                raise TypeError(
+                    "predictor_factory must build snapshot-capable predictors "
+                    "(AutoFormula) to load a sharded snapshot"
+                )
+            prefix = f"shard{shard}_"
+            restore(
+                state,
+                {
+                    key[len(prefix):]: block
+                    for key, block in arrays.items()
+                    if key.startswith(prefix)
+                },
+                resolve,
+            )
+        for workbook in workbooks:
+            workspace._workbooks[workbook.name] = workbook
+        workspace._placements = {
+            workbook_name: [(int(shard), int(stable_id)) for shard, stable_id in entries]
+            for workbook_name, entries in manifest.get("placements", {}).items()
+        }
+        workspace._global_seq = [
+            {int(stable_id): int(sequence) for stable_id, sequence in seqs.items()}
+            for seqs in global_seq
+        ]
+        workspace._next_seq = int(manifest.get("next_seq", 0))
+        log = MutationLog(mutation_log_path(directory))
+        workspace._mutation_log = log
+        workspace._pending_ops = log.read()
+        return workspace
+
+    @staticmethod
+    def load_shard(
+        directory: Union[str, Path],
+        shard: int,
+        predictor_factory: Callable[[], FormulaPredictor],
+        mmap: bool = True,
+    ) -> Tuple[FormulaPredictor, Dict[int, int]]:
+        """Restore a single shard's predictor from a sharded snapshot.
+
+        The worker-process entry point: K processes can each call
+        ``load_shard(directory, j, factory)`` against the *same* snapshot
+        and serve their slice independently — each loads only its own
+        ``shard<j>_`` array blocks (memory-mapped, so the matrix pages are
+        shared across processes by the OS).  Returns the restored
+        predictor plus its stable-sheet-id → global-corpus-sequence map,
+        which a coordinator needs to merge per-shard hits in global
+        corpus order.
+        """
+        directory = Path(directory)
+        manifest = read_manifest(directory)
+        if manifest.get("kind") != "sharded_workspace":
+            raise SnapshotFormatError(
+                f"snapshot at {directory} holds a {manifest.get('kind')!r}, "
+                "not a sharded workspace"
+            )
+        n_shards = int(manifest.get("n_shards", 0))
+        if not 0 <= shard < n_shards:
+            raise ValueError(f"shard {shard} out of range for {n_shards}-shard snapshot")
+        predictor = predictor_factory()
+        restore = getattr(predictor, "restore_snapshot_state", None)
+        if restore is None:
+            raise TypeError(
+                "predictor_factory must build a snapshot-capable predictor "
+                "(AutoFormula) to load a shard"
+            )
+        workbooks = load_corpus(directory, manifest.get("workbooks", []))
+        prefix = f"shard{shard}_"
+        names = [name for name in manifest.get("arrays", []) if name.startswith(prefix)]
+        arrays = load_arrays(directory, names, mmap=mmap)
+        restore(
+            manifest["shards"][shard],
+            {key[len(prefix):]: block for key, block in arrays.items()},
+            sheet_resolver(workbooks),
+        )
+        sequences = {
+            int(stable_id): int(sequence)
+            for stable_id, sequence in manifest["global_seq"][shard].items()
+        }
+        return predictor, sequences
 
     # ----------------------------------------------------------------- serving
 
@@ -364,6 +586,7 @@ class ShardedWorkspace:
         requests = list(requests)
         if not requests:
             return []
+        self._ensure_log_replayed()
         with self._rwlock.read_lock():
             if not self._workbooks:
                 return [

@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.interface import FormulaPredictor
+from repro.persistence.log import (
+    MutationLog,
+    add_entry,
+    edit_entry,
+    remove_entry,
+    replay_pending_mutations,
+)
+from repro.persistence.snapshot import (
+    SnapshotFormatError,
+    load_arrays,
+    load_corpus,
+    mutation_log_path,
+    read_manifest,
+    save_arrays,
+    save_corpus,
+    sheet_resolver,
+    write_manifest,
+)
 from repro.evaluation.latency import LatencyRecorder
 from repro.evaluation.runner import EvaluationRun, run_method_on_cases
 from repro.formula.engine import FormulaEngine, RecalcReport
@@ -116,6 +136,14 @@ class Workspace:
         self._autofill_version = -1
         self._detector: Optional[FormulaErrorDetector] = None
         self._detector_version = -1
+        #: Durability state (see :mod:`repro.persistence`): ``save()``
+        #: attaches a mutation log and subsequent corpus mutations append
+        #: to it; ``load()`` stashes the log's tail in ``_pending_ops``
+        #: for lazy replay on first public use.
+        self._mutation_log: Optional[MutationLog] = None
+        self._pending_ops: List[Dict[str, object]] = []
+        self._log_suspended = False
+        self._replay_mutex = threading.RLock()
 
     # ----------------------------------------------------------------- corpus
 
@@ -150,6 +178,7 @@ class Workspace:
         workbooks = list(workbooks)
         if not workbooks:
             return
+        self._ensure_log_replayed()
         with self._rwlock.write_lock():
             seen = set(self._workbooks)
             for workbook in workbooks:
@@ -172,6 +201,7 @@ class Workspace:
                 self._fitted = True
             for workbook in workbooks:
                 self._workbooks[workbook.name] = workbook
+                self._log(add_entry(workbook))
             self._corpus_version += 1
 
     def add_workbook(self, workbook: Workbook) -> None:
@@ -187,6 +217,7 @@ class Workspace:
         :meth:`add_workbooks`, the workbook stays registered if the
         predictor mutation fails.
         """
+        self._ensure_log_replayed()
         with self._rwlock.write_lock():
             if workbook_name not in self._workbooks:
                 raise KeyError(workbook_name)
@@ -206,6 +237,7 @@ class Workspace:
                 self._fitted = True
             workbook = self._workbooks.pop(workbook_name)
             drop_engines(self._engines, workbook_name)
+            self._log(remove_entry(workbook_name))
             self._corpus_version += 1
             return workbook
 
@@ -235,6 +267,7 @@ class Workspace:
         ``value`` / ``formula`` is provided.
         """
         require_one_edit_operand(value, formula)
+        self._ensure_log_replayed()
         with self._rwlock.write_lock():
             if workbook_name not in self._workbooks:
                 raise KeyError(workbook_name)
@@ -263,6 +296,9 @@ class Workspace:
                         self._refit()
             else:
                 self._refit()
+            self._log(
+                edit_entry(workbook_name, sheet_name, address, value=value, formula=formula)
+            )
             self._corpus_version += 1
             return report
 
@@ -286,6 +322,112 @@ class Workspace:
         with self._rwlock.write_lock():
             self._ensure_fitted()
 
+    # ------------------------------------------------------------- durability
+
+    def _log(self, entry: Dict[str, object]) -> None:
+        """Append one mutation entry, if a log is attached (post save/load)."""
+        if self._mutation_log is not None and not self._log_suspended:
+            self._mutation_log.append(entry)
+
+    def _ensure_log_replayed(self) -> None:
+        """Replay a loaded snapshot's mutation-log tail on first public use."""
+        replay_pending_mutations(self)
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Snapshot this workspace to ``directory`` and attach its mutation log.
+
+        Writes the corpus workbooks, the predictor's raw index state
+        (contiguous float32 matrices, tombstone flags, stable-id maps) and
+        a versioned manifest — the layout documented in
+        :mod:`repro.persistence.snapshot`.  Any mutation-log tail is
+        replayed first and the log is then *compacted*: truncated back to
+        its header, because the fresh snapshot now covers its entries.
+        After ``save()`` the workspace keeps logging subsequent
+        add/remove/edit calls to ``directory``'s log, so a later
+        :meth:`load` restores snapshot + tail.
+
+        Requires a snapshot-capable predictor (Auto-Formula); raises
+        ``TypeError`` for baselines that cannot serialize their state.
+        """
+        self._ensure_log_replayed()
+        directory = Path(directory)
+        snapshot_state = getattr(self._predictor, "snapshot_state", None)
+        if snapshot_state is None:
+            raise TypeError(
+                f"predictor {self._predictor.name!r} does not support snapshots; "
+                "durable workspaces need a snapshot-capable predictor (AutoFormula)"
+            )
+        with self._rwlock.write_lock():
+            state, arrays = snapshot_state()
+            files = save_corpus(directory, self.workbooks())
+            names = save_arrays(directory, arrays)
+            write_manifest(
+                directory,
+                {
+                    "kind": "workspace",
+                    "name": self.name,
+                    "workbooks": files,
+                    "fitted": self._fitted,
+                    "predictor_state": state,
+                    "arrays": names,
+                },
+            )
+            log = MutationLog(mutation_log_path(directory))
+            log.clear()
+            self._mutation_log = log
+        return directory
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        predictor: FormulaPredictor,
+        encoder: Optional[SheetEncoder] = None,
+        name: Optional[str] = None,
+        mmap: bool = True,
+    ) -> "Workspace":
+        """Restore a workspace saved by :meth:`save`.
+
+        The corpus is rebuilt from the stored workbooks and the predictor
+        adopts the stored index state — memory-mapped read-only by default
+        (``mmap=False`` forces eager in-memory copies), which every write
+        path upgrades by reallocating before mutating.  The snapshot's
+        mutation-log tail is *not* applied here: it is stashed and
+        replayed lazily on the first public operation, under the same
+        writer-preferring lock live mutations take.  Restored answers are
+        bit-identical to a fresh fit on the equivalent corpus.
+
+        ``predictor`` must be a fresh, configuration-compatible predictor
+        (same granularity and index kinds as the saved one); mismatches
+        raise ``ValueError``.
+        """
+        directory = Path(directory)
+        manifest = read_manifest(directory)
+        if manifest.get("kind") != "workspace":
+            raise SnapshotFormatError(
+                f"snapshot at {directory} holds a {manifest.get('kind')!r}, "
+                "not a workspace"
+            )
+        restore = getattr(predictor, "restore_snapshot_state", None)
+        if restore is None:
+            raise TypeError(
+                f"predictor {predictor.name!r} cannot restore snapshots; "
+                "load with a snapshot-capable predictor (AutoFormula)"
+            )
+        workbooks = load_corpus(directory, manifest.get("workbooks", []))
+        arrays = load_arrays(directory, manifest.get("arrays", []), mmap=mmap)
+        restore(manifest.get("predictor_state", {}), arrays, sheet_resolver(workbooks))
+        workspace = cls(
+            str(name or manifest.get("name") or "restored"), predictor, encoder=encoder
+        )
+        for workbook in workbooks:
+            workspace._workbooks[workbook.name] = workbook
+        workspace._fitted = bool(manifest.get("fitted", False))
+        log = MutationLog(mutation_log_path(directory))
+        workspace._mutation_log = log
+        workspace._pending_ops = log.read()
+        return workspace
+
     # ---------------------------------------------------------------- serving
 
     def recommend(self, request: RecommendationRequest) -> RecommendationResponse:
@@ -307,6 +449,7 @@ class Workspace:
         requests = list(requests)
         if not requests:
             return []
+        self._ensure_log_replayed()
         self._ensure_fitted_for_serving()
         with self._rwlock.read_lock():
             return self._serve_batch_locked(requests)
@@ -379,6 +522,7 @@ class Workspace:
 
     def evaluate(self, cases: Sequence, corpus_name: str = "") -> EvaluationRun:
         """Run the evaluation harness on this workspace's fitted predictor."""
+        self._ensure_log_replayed()
         self._ensure_fitted_for_serving()
         with self._rwlock.read_lock():
             return run_method_on_cases(
@@ -405,6 +549,7 @@ class Workspace:
         (re)fitting — the common already-fitted case is a plain read, so
         extension traffic does not stall concurrent serving.
         """
+        self._ensure_log_replayed()
         if self._autofill is not None and self._autofill_version == self._corpus_version:
             return self._autofill
         with self._rwlock.write_lock():
@@ -430,6 +575,7 @@ class Workspace:
     def error_detector(self) -> FormulaErrorDetector:
         """The formula error detector, fitted on the current corpus
         (write-locked only for the rare refit, like :meth:`autofill`)."""
+        self._ensure_log_replayed()
         if self._detector is not None and self._detector_version == self._corpus_version:
             return self._detector
         with self._rwlock.write_lock():

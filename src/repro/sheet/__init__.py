@@ -22,6 +22,7 @@ from repro.sheet.cell import Cell, CellType, infer_cell_type
 from repro.sheet.sheet import Sheet
 from repro.sheet.workbook import Workbook
 from repro.sheet.io import (
+    WorkbookFormatError,
     workbook_from_dict,
     workbook_to_dict,
     load_workbook_json,
@@ -41,6 +42,7 @@ __all__ = [
     "infer_cell_type",
     "Sheet",
     "Workbook",
+    "WorkbookFormatError",
     "workbook_from_dict",
     "workbook_to_dict",
     "load_workbook_json",

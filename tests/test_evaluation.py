@@ -260,6 +260,7 @@ class TestLatencyRecorder:
         recorder.record(0.5)
         summary = recorder.summary()
         assert summary["count"] == 1.0
+        assert summary["window_count"] == 1.0
         assert summary["p50_seconds"] == summary["p95_seconds"] == 0.5
         assert summary["p99_seconds"] == 0.5
         assert summary["max_seconds"] == 0.5
@@ -287,7 +288,12 @@ class TestLatencyRecorder:
         # Running aggregates cover every sample ...
         assert len(recorder) == 7
         assert recorder.total_seconds == pytest.approx(37.0)
-        assert recorder.summary()["max_seconds"] == 9.0
-        # ... while percentiles see only the most recent window_size.
+        summary = recorder.summary()
+        assert summary["max_seconds"] == 9.0
+        assert summary["count"] == 7.0
+        # ... while percentiles see only the most recent window_size, and
+        # summary says so via window_count.
+        assert summary["window_count"] == 4.0
+        assert recorder.window_count == 4
         assert recorder.percentile(1.0) == 4.0
         assert recorder.percentile(0.5) == 2.5

@@ -1,0 +1,376 @@
+"""Durable-workspace acceptance suite: snapshots, mutation log, restore parity.
+
+The acceptance invariant is the existing fresh-fit-parity checker: a
+workspace restored from snapshot (+ mutation-log tail) must answer
+bit-identically to a fresh fit on the equivalent corpus, across the
+exact/lsh/ivf index kinds.  The rest of the suite covers the mechanics:
+format-version enforcement, lazy log replay, compaction, tombstone
+state, memory-mapped loading, per-shard worker restore, and the service
+facade's save/load round trip.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import AutoFormula, AutoFormulaConfig, FormulaService, ShardedWorkspace, Workspace
+from repro.persistence import (
+    MutationLog,
+    MutationLogError,
+    SnapshotFormatError,
+    read_manifest,
+)
+from repro.persistence.snapshot import SNAPSHOT_FORMAT_VERSION, mutation_log_path
+from repro.service import RecommendationRequest
+from repro.sheet import Workbook
+from repro.testing import (
+    WorkloadConfig,
+    assert_matches_fresh_fit,
+    assert_responses_match,
+    assert_tombstone_accounting,
+    generate_workload,
+    replay_workload,
+)
+
+#: The same churn profile the simulation acceptance suite uses.
+CHURN_WORKLOAD = WorkloadConfig(
+    n_tenants=1,
+    n_steps=8,
+    n_families=2,
+    min_copies=2,
+    max_copies=3,
+    n_singletons=1,
+    initial_workbooks=2,
+    max_recommend_batch=3,
+    max_cases=5,
+)
+
+#: Edit-heavy variant so the log carries edit entries, not just add/remove.
+EDIT_WORKLOAD = WorkloadConfig(
+    n_tenants=1,
+    n_steps=12,
+    op_weights=(0.2, 0.1, 0.45, 0.1, 0.1, 0.05),
+    n_families=2,
+    min_copies=2,
+    max_copies=3,
+    n_singletons=1,
+    initial_workbooks=2,
+    max_recommend_batch=3,
+    max_cases=5,
+)
+
+INDEX_KINDS = ("exact", "lsh", "ivf")
+
+
+def _config(kind: str) -> AutoFormulaConfig:
+    return AutoFormulaConfig(sheet_index_kind=kind, formula_index_kind=kind)
+
+
+def _churned_workspace(trained_encoder, kind, seed=11, workload_config=CHURN_WORKLOAD):
+    """One mutated workspace plus its workload's evaluation cases."""
+    workload = generate_workload(seed, workload_config)
+    config = _config(kind)
+    replay = replay_workload(
+        workload,
+        lambda tenant: Workspace(tenant, AutoFormula(trained_encoder, config)),
+    )
+    ((tenant, workspace),) = replay.workspaces.items()
+    return workspace, workload.cases[tenant], config
+
+
+# ---------------------------------------------------------- restore parity
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+class TestRestoreParity:
+    """The acceptance criterion: restored == fresh fit, bit for bit."""
+
+    def test_snapshot_restore_matches_fresh_fit(self, trained_encoder, kind, tmp_path):
+        workspace, cases, config = _churned_workspace(trained_encoder, kind)
+        workspace.save(tmp_path / "snap")
+        restored = Workspace.load(tmp_path / "snap", AutoFormula(trained_encoder, config))
+        assert restored.workbook_names == workspace.workbook_names
+        assert_matches_fresh_fit(
+            restored,
+            lambda: AutoFormula(trained_encoder, config),
+            cases,
+            context=f"restored kind={kind}",
+        )
+        assert_tombstone_accounting(restored.predictor)
+
+    def test_snapshot_plus_log_tail_matches_fresh_fit(
+        self, trained_encoder, kind, tmp_path
+    ):
+        workspace, cases, config = _churned_workspace(
+            trained_encoder, kind, seed=29, workload_config=EDIT_WORKLOAD
+        )
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        # Post-snapshot mutations of every kind land in the log ...
+        removed = workspace.remove_workbook(workspace.workbook_names[0])
+        workspace.add_workbook(removed)
+        target = workspace.workbooks()[-1]
+        sheet = target.sheets[0]
+        address = next(
+            addr
+            for addr, cell in sheet.cells()
+            if cell.formula is None and isinstance(cell.value, float)
+        )
+        workspace.edit_cell(target.name, sheet.name, address, value=1234.5)
+        log = MutationLog(mutation_log_path(directory))
+        assert [entry["op"] for entry in log.read()] == ["remove", "add", "edit"]
+        # ... and restore = snapshot + lazy replay is still a fresh fit.
+        restored = Workspace.load(directory, AutoFormula(trained_encoder, config))
+        assert_matches_fresh_fit(
+            restored,
+            lambda: AutoFormula(trained_encoder, config),
+            cases,
+            context=f"snapshot+log kind={kind}",
+        )
+        assert restored.workbook_names == workspace.workbook_names
+
+    def test_sharded_restore_matches_fresh_unsharded_fit(
+        self, trained_encoder, kind, tmp_path
+    ):
+        workload = generate_workload(47, CHURN_WORKLOAD)
+        config = _config(kind)
+        factory = lambda: AutoFormula(trained_encoder, config)  # noqa: E731
+        replay = replay_workload(
+            workload, lambda tenant: ShardedWorkspace(tenant, factory, 3)
+        )
+        ((tenant, workspace),) = replay.workspaces.items()
+        workspace.save(tmp_path / "snap")
+        restored = ShardedWorkspace.load(tmp_path / "snap", factory)
+        try:
+            assert restored.shard_sizes() == workspace.shard_sizes()
+            assert_matches_fresh_fit(
+                restored,
+                factory,
+                workload.cases[tenant],
+                context=f"sharded restored kind={kind}",
+            )
+        finally:
+            restored.close()
+            workspace.close()
+
+
+# ------------------------------------------------------------ log mechanics
+
+
+class TestMutationLog:
+    def test_lazy_replay_happens_once_on_first_use(self, trained_encoder, tmp_path):
+        workspace, cases, config = _churned_workspace(trained_encoder, "exact")
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        removed = workspace.remove_workbook(workspace.workbook_names[-1])
+        restored = Workspace.load(directory, AutoFormula(trained_encoder, config))
+        # Loading alone must not replay: the ops are merely pending.
+        assert len(restored._pending_ops) == 1
+        assert removed.name in restored._workbooks
+        response = restored.recommend(
+            RecommendationRequest(cases[0].target_sheet, cases[0].target_cell)
+        )
+        assert response is not None
+        assert restored._pending_ops == []
+        assert removed.name not in restored
+        # Replayed ops must not be re-appended to the log they came from.
+        assert len(MutationLog(mutation_log_path(directory))) == 1
+
+    def test_save_compacts_the_log(self, trained_encoder, tmp_path):
+        workspace, __, config = _churned_workspace(trained_encoder, "exact")
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        workspace.remove_workbook(workspace.workbook_names[0])
+        log = MutationLog(mutation_log_path(directory))
+        assert len(log) == 1
+        workspace.save(directory)
+        assert len(log) == 0
+        # The compacted snapshot already contains the remove: a reload has
+        # nothing pending and agrees with the live workspace.
+        restored = Workspace.load(directory, AutoFormula(trained_encoder, config))
+        assert restored._pending_ops == []
+        assert restored.workbook_names == workspace.workbook_names
+
+    def test_edit_values_survive_the_log_codec(self, tmp_path):
+        import datetime
+
+        from repro.persistence.log import edit_entry
+        from repro.sheet.cell import Cell
+
+        entry = json.loads(
+            json.dumps(edit_entry("wb", "S", "B2", value=datetime.date(2024, 2, 29)))
+        )
+        assert Cell.from_dict(entry["cell"]).value == datetime.date(2024, 2, 29)
+        formula_entry = edit_entry("wb", "S", "B2", formula="=SUM(A1:A3)")
+        assert formula_entry["formula"] == "=SUM(A1:A3)"
+        blank_entry = edit_entry("wb", "S", "B2", value="")
+        assert blank_entry["cell"] == {"value": ""}
+
+    def test_corrupt_log_raises_typed_error(self, tmp_path):
+        path = tmp_path / "mutations.log"
+        log = MutationLog(path)
+        log.append({"op": "remove", "workbook_name": "wb"})
+        with pytest.raises(MutationLogError):
+            log.append({"op": "rename", "workbook_name": "wb"})
+        # Future-version header.
+        path.write_text('{"kind": "mutation-log", "format_version": 99}\n')
+        with pytest.raises(MutationLogError, match="format_version"):
+            log.read()
+        # Garbage entry line.
+        log.clear()
+        with path.open("a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(MutationLogError, match="line 2"):
+            log.read()
+        # Wrong file kind entirely.
+        path.write_text('{"kind": "workspace"}\n')
+        with pytest.raises(MutationLogError, match="not a mutation log"):
+            log.read()
+
+
+# ------------------------------------------------------- snapshot mechanics
+
+
+class TestSnapshotFormat:
+    def test_manifest_version_is_enforced(self, trained_encoder, tmp_path):
+        workspace, __, config = _churned_workspace(trained_encoder, "exact")
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        manifest = read_manifest(directory)
+        assert manifest["format_version"] == SNAPSHOT_FORMAT_VERSION
+        manifest["format_version"] = SNAPSHOT_FORMAT_VERSION + 1
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotFormatError, match="format_version"):
+            Workspace.load(directory, AutoFormula(trained_encoder, config))
+
+    def test_missing_and_malformed_manifests_raise(self, tmp_path):
+        with pytest.raises(SnapshotFormatError, match="no snapshot manifest"):
+            read_manifest(tmp_path)
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.raises(SnapshotFormatError, match="unreadable"):
+            read_manifest(tmp_path)
+
+    def test_kind_mismatch_raises(self, trained_encoder, tmp_path):
+        workspace, __, config = _churned_workspace(trained_encoder, "exact")
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        factory = lambda: AutoFormula(trained_encoder, config)  # noqa: E731
+        with pytest.raises(SnapshotFormatError, match="not a sharded workspace"):
+            ShardedWorkspace.load(directory, factory)
+        with pytest.raises(SnapshotFormatError, match="not a sharded workspace"):
+            ShardedWorkspace.load_shard(directory, 0, factory)
+
+    def test_config_mismatch_raises(self, trained_encoder, tmp_path):
+        workspace, __, config = _churned_workspace(trained_encoder, "exact")
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        with pytest.raises(ValueError, match="index"):
+            Workspace.load(directory, AutoFormula(trained_encoder, _config("lsh")))
+
+    def test_mmap_load_is_read_only_until_first_write(
+        self, trained_encoder, tmp_path
+    ):
+        workspace, cases, config = _churned_workspace(trained_encoder, "exact")
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        restored = Workspace.load(directory, AutoFormula(trained_encoder, config))
+        matrix = restored.predictor.sheet_index._matrix
+        assert isinstance(matrix, np.memmap)
+        assert not matrix.flags.writeable
+        # Serving works off the map; mutation reallocates and still works.
+        restored.recommend(
+            RecommendationRequest(cases[0].target_sheet, cases[0].target_cell)
+        )
+        restored.remove_workbook(restored.workbook_names[0])
+        assert_tombstone_accounting(restored.predictor)
+        # Eager mode loads plain arrays.
+        eager = Workspace.load(
+            directory, AutoFormula(trained_encoder, config), mmap=False
+        )
+        assert not isinstance(eager.predictor.sheet_index._matrix, np.memmap)
+
+
+# ------------------------------------------------------------ process shards
+
+
+class TestShardWorkers:
+    def test_load_shard_restores_each_slice(self, trained_encoder, tmp_path):
+        config = _config("exact")
+        factory = lambda: AutoFormula(trained_encoder, config)  # noqa: E731
+        workload = generate_workload(11, CHURN_WORKLOAD)
+        replay = replay_workload(
+            workload, lambda tenant: ShardedWorkspace(tenant, factory, 3)
+        )
+        ((tenant, workspace),) = replay.workspaces.items()
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        case = workload.cases[tenant][0]
+        for shard in range(3):
+            predictor, sequences = ShardedWorkspace.load_shard(
+                directory, shard, factory
+            )
+            # The worker's routing metadata matches the coordinator's ...
+            assert sequences == workspace._global_seq[shard]
+            # ... and its S1 stage answers exactly like the live shard.
+            live = workspace._predictors[shard].sheet_hits(case.target_sheet)
+            loaded = predictor.sheet_hits(case.target_sheet)
+            assert [(hit.key, hit.distance) for hit in live] == [
+                (hit.key, hit.distance) for hit in loaded
+            ]
+        with pytest.raises(ValueError, match="out of range"):
+            ShardedWorkspace.load_shard(directory, 7, factory)
+        workspace.close()
+
+
+# ----------------------------------------------------------------- facade
+
+
+class TestServiceFacade:
+    def test_save_and_load_workspace_round_trip(self, trained_encoder, tmp_path):
+        config = _config("exact")
+        service = FormulaService(trained_encoder, config)
+        workload = generate_workload(11, CHURN_WORKLOAD)
+        replay = replay_workload(
+            workload, lambda tenant: service.create_workspace(tenant)
+        )
+        ((tenant, workspace),) = replay.workspaces.items()
+        service.save_workspace(tenant, tmp_path / "snap")
+        restored = service.load_workspace(tmp_path / "snap", name="reloaded")
+        assert isinstance(restored, Workspace)
+        assert service["reloaded"] is restored
+        for case in workload.cases[tenant]:
+            request = RecommendationRequest(case.target_sheet, case.target_cell)
+            assert_responses_match(
+                [workspace.recommend(request)],
+                [restored.recommend(request)],
+                context="facade reload",
+            )
+
+    def test_load_workspace_detects_sharded_kind(self, trained_encoder, tmp_path):
+        service = FormulaService(trained_encoder, _config("exact"))
+        workspace = service.create_sharded_workspace("tenant", 2)
+        workbook = Workbook("wb")
+        sheet = workbook.add_sheet("S")
+        sheet.set("A1", 1.0)
+        sheet.set("A2", 2.0)
+        sheet.set("A3", formula="=SUM(A1:A2)")
+        workspace.add_workbook(workbook)
+        service.save_workspace("tenant", tmp_path / "snap")
+        restored = service.load_workspace(tmp_path / "snap", name="reloaded")
+        try:
+            assert isinstance(restored, ShardedWorkspace)
+            assert restored.workbook_names == ["wb"]
+        finally:
+            restored.close()
+            workspace.close()
+
+    def test_duplicate_name_rejected_on_load(self, trained_encoder, tmp_path):
+        service = FormulaService(trained_encoder, _config("exact"))
+        workspace = service.create_workspace("tenant")
+        workbook = Workbook("wb")
+        workbook.add_sheet("S").set("A1", 1.0)
+        workspace.add_workbook(workbook)
+        service.save_workspace("tenant", tmp_path / "snap")
+        with pytest.raises(ValueError, match="already exists"):
+            service.load_workspace(tmp_path / "snap")

@@ -1,16 +1,22 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import datetime
+import json
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.ann import ExactIndex, IVFIndex, LSHIndex
 from repro.embedding import HashedSemanticEmbedder
 from repro.formula import extract_template, formula_references, instantiate_template, parse_formula
+from repro.formula.engine import FormulaEngine
+from repro.formula.errors import ALL_ERROR_VALUES, ErrorValue
 from repro.formula.template import normalize_formula, shift_formula
 from repro.formula.tokenizer import TokenType, tokenize
 from repro.nn import L2Normalize
 from repro.nn.losses import pairwise_squared_distances, triplet_loss_and_grad
-from repro.sheet import CellAddress, RangeAddress, Sheet
+from repro.sheet import Cell, CellAddress, RangeAddress, Sheet, Workbook
+from repro.sheet import workbook_from_dict, workbook_to_dict
 from repro.sheet.addressing import column_index_to_letters, column_letters_to_index
 from repro.weaksup import SheetNameStatistics
 
@@ -208,6 +214,119 @@ class TestParserRoundTrip:
         tokens = tokenize(formula)
         spaced = " ".join(token.text for token in tokens if token.text)
         assert parse_formula(spaced) == parse_formula(formula)
+
+
+# -------------------------------------------------------- workbook JSON I/O
+
+#: Scalar cell values covering every value kind the JSON codec carries.
+#: Plain text is filtered away from the "#" prefix so the error-code
+#: rehydration rule cannot retype a string that merely looks like one.
+_scalar_cell_values = st.one_of(
+    st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False),
+    st.text(st.characters(blacklist_categories=("Cs",)), max_size=12).filter(
+        lambda text: not text.startswith("#")
+    ),
+    st.booleans(),
+    st.just(""),
+    st.dates(datetime.date(1900, 1, 1), datetime.date(2199, 12, 31)),
+    st.sampled_from(ALL_ERROR_VALUES),
+)
+
+
+def _json_round_trip(workbook):
+    """Serialize through actual JSON text, not just the dict layer."""
+    return workbook_from_dict(json.loads(json.dumps(workbook_to_dict(workbook))))
+
+
+def _values_bit_equal(left, right):
+    if isinstance(left, float) and isinstance(right, float):
+        return (left == right) or (left != left and right != right)  # NaN-safe
+    return left == right and type(left) is type(right)
+
+
+class TestWorkbookJsonRoundTrip:
+    """workbook_to_dict -> JSON text -> workbook_from_dict loses nothing."""
+
+    @given(
+        st.lists(
+            st.tuples(cell_addresses, _scalar_cell_values),
+            min_size=1,
+            max_size=12,
+            unique_by=lambda pair: (pair[0].row, pair[0].col),
+        )
+    )
+    @settings(max_examples=150)
+    def test_value_cells_survive_round_trip(self, items):
+        sheet = Sheet("Values")
+        for address, value in items:
+            sheet.set_cell(address, Cell(value=value))
+        workbook = Workbook("wb")
+        workbook.add_sheet(sheet)
+        restored = _json_round_trip(workbook)
+        restored_sheet = restored.get_sheet("Values")
+        assert restored.name == "wb"
+        assert (restored_sheet.n_rows, restored_sheet.n_cols) == (
+            sheet.n_rows,
+            sheet.n_cols,
+        )
+        assert len(list(restored_sheet.cells())) == len(items)
+        for address, value in items:
+            restored_value = restored_sheet.get(address).value
+            assert restored_value == value
+            # Type identity matters: True is not 1.0, "" is not 0.0, an
+            # ErrorValue is not its plain-text spelling, a date is not
+            # its ISO string.
+            assert isinstance(restored_value, bool) == isinstance(value, bool)
+            assert isinstance(restored_value, ErrorValue) == isinstance(value, ErrorValue)
+            assert isinstance(restored_value, datetime.date) == isinstance(
+                value, datetime.date
+            )
+
+    @given(rich_formulas)
+    @settings(max_examples=100, deadline=None)
+    def test_formula_cells_round_trip_with_evaluation_parity(self, formula):
+        sheet = Sheet("Calc")
+        for row in range(6):
+            for col in range(4):
+                sheet.set_cell(CellAddress(row, col), Cell(value=float(row * 4 + col + 1)))
+        sheet.set_cell(CellAddress(10, 0), Cell(formula=f"={formula}"))
+        sheet.set_cell(CellAddress(11, 0), Cell(formula="=SUM(A1:D6)+A11"))
+        FormulaEngine(sheet).recalculate()
+        workbook = Workbook("wb")
+        workbook.add_sheet(sheet)
+
+        restored = _json_round_trip(workbook)
+        restored_sheet = restored.get_sheet("Calc")
+        # The formula text itself survives verbatim ...
+        for address in (CellAddress(10, 0), CellAddress(11, 0)):
+            assert restored_sheet.get(address).formula == sheet.get(address).formula
+        # ... and a full recalculation of the restored sheet reproduces
+        # every evaluated value bit-for-bit (evaluation-level parity, not
+        # just textual equality of the serialized payloads).
+        FormulaEngine(restored_sheet).recalculate()
+        for address, cell in sheet.cells():
+            assert _values_bit_equal(restored_sheet.get(address).value, cell.value), (
+                f"{address.to_a1()}: {restored_sheet.get(address).value!r} "
+                f"!= {cell.value!r}"
+            )
+
+    def test_blank_versus_zero_survives_round_trip(self):
+        sheet = Sheet("S")
+        sheet.set_cell(CellAddress(0, 0), Cell(value=""))
+        sheet.set_cell(CellAddress(0, 1), Cell(value=0.0))
+        sheet.set_cell(CellAddress(0, 2), Cell(value=False))
+        workbook = Workbook("wb")
+        workbook.add_sheet(sheet)
+        restored_sheet = _json_round_trip(workbook).get_sheet("S")
+        blank = restored_sheet.get(CellAddress(0, 0)).value
+        zero = restored_sheet.get(CellAddress(0, 1)).value
+        false = restored_sheet.get(CellAddress(0, 2)).value
+        assert blank == "" and isinstance(blank, str)
+        assert zero == 0.0 and not isinstance(zero, bool)
+        assert false is False
+        # The explicit blank is still "empty" to the model, the zero is not.
+        assert restored_sheet.get(CellAddress(0, 0)).is_empty
+        assert not restored_sheet.get(CellAddress(0, 1)).is_empty
 
 
 # -------------------------------------------------------------------- sheet ops

@@ -420,6 +420,37 @@ class TestInternals:
         assert bucket.try_acquire(0.5) is None
         assert bucket.try_acquire(0.5) == pytest.approx(0.5)
 
+    def test_token_bucket_clamps_backwards_clock(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_acquire(100.0) is None
+        assert bucket.try_acquire(100.0) is None
+        assert bucket.try_acquire(100.0) == pytest.approx(1.0)
+        # The clock rewinds: the watermark must not move backwards, or the
+        # next call at t=100 would re-credit 100 seconds of tokens.
+        assert bucket.try_acquire(0.0) == pytest.approx(1.0)
+        assert bucket.try_acquire(100.0) == pytest.approx(1.0)
+        # Only genuinely new time refills: one second past the watermark.
+        assert bucket.try_acquire(101.0) is None
+        assert bucket.try_acquire(101.0) == pytest.approx(1.0)
+
+    def test_token_bucket_equal_timestamps_spend_without_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.try_acquire(5.0) is None
+        # Same timestamp again: no elapsed time, so no refill — but the
+        # call must still be answered (with the retry hint), not crash or
+        # hand back burst tokens.
+        assert bucket.try_acquire(5.0) == pytest.approx(0.1)
+        assert bucket.try_acquire(5.0) == pytest.approx(0.1)
+
+    def test_token_bucket_defaults_to_monotonic_clock(self):
+        ticks = iter([0.0, 0.0, 10.0])
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=lambda: next(ticks))
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() == pytest.approx(1.0)
+        assert bucket.try_acquire() is None
+        # And without an explicit clock the default is time.monotonic.
+        assert TokenBucket(rate=1.0, burst=1.0).try_acquire() is None
+
     def test_json_safe_handles_numpy_and_objects(self):
         import numpy as np
 

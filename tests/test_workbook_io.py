@@ -4,6 +4,8 @@ import pytest
 
 from repro.sheet import Sheet, Workbook
 from repro.sheet.io import (
+    FORMAT_VERSION,
+    WorkbookFormatError,
     load_workbook_json,
     save_workbook_json,
     workbook_from_dict,
@@ -82,3 +84,68 @@ class TestWorkbookSerialization:
         workbook = Workbook("empty.xlsx")
         restored = workbook_from_dict(workbook_to_dict(workbook))
         assert len(restored) == 0
+
+    def test_extent_beyond_max_cell_survives_roundtrip(self):
+        # delete() never shrinks the extent, so the extent can exceed the
+        # max written cell; a round trip must not re-derive (and thereby
+        # shrink) it.
+        workbook = Workbook("wb")
+        sheet = workbook.add_sheet("S")
+        sheet.set("A1", 1.0)
+        sheet.set("E9", 2.0)
+        sheet.delete("E9")
+        assert (sheet.n_rows, sheet.n_cols) == (9, 5)
+        restored = workbook_from_dict(workbook_to_dict(workbook))["S"]
+        assert (restored.n_rows, restored.n_cols) == (9, 5)
+
+
+class TestWorkbookFormatValidation:
+    def test_format_version_is_stamped_and_enforced(self):
+        payload = workbook_to_dict(Workbook("wb"))
+        assert payload["format_version"] == FORMAT_VERSION
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(WorkbookFormatError, match="format_version"):
+            workbook_from_dict(payload)
+
+    def test_missing_version_is_accepted(self):
+        # Hand-written fixtures and bare wire payloads carry no stamp.
+        restored = workbook_from_dict({"name": "wb", "sheets": []})
+        assert restored.name == "wb"
+
+    def test_malformed_cells_container_raises(self):
+        payload = {
+            "name": "wb",
+            "sheets": [{"name": "S", "cells": [["A1", {"value": 1.0}]]}],
+        }
+        with pytest.raises(WorkbookFormatError, match="cells"):
+            workbook_from_dict(payload)
+
+    def test_malformed_cell_record_raises(self):
+        payload = {"name": "wb", "sheets": [{"name": "S", "cells": {"A1": 3.5}}]}
+        with pytest.raises(WorkbookFormatError, match="A1"):
+            workbook_from_dict(payload)
+
+    def test_invalid_cell_address_raises(self):
+        payload = {
+            "name": "wb",
+            "sheets": [{"name": "S", "cells": {"not-an-address": {"value": 1.0}}}],
+        }
+        with pytest.raises(WorkbookFormatError, match="address"):
+            workbook_from_dict(payload)
+
+    def test_malformed_sheets_container_raises(self):
+        with pytest.raises(WorkbookFormatError, match="sheets"):
+            workbook_from_dict({"name": "wb", "sheets": {"S": {}}})
+
+    def test_non_object_payloads_raise(self):
+        with pytest.raises(WorkbookFormatError):
+            workbook_from_dict(["not", "a", "workbook"])
+        from repro.sheet.io import sheet_from_dict
+
+        with pytest.raises(WorkbookFormatError):
+            sheet_from_dict("not a sheet")
+
+    def test_format_error_is_a_value_error(self):
+        # The server layer maps ValueError to HTTP 400; the typed error
+        # must stay inside that contract.
+        assert issubclass(WorkbookFormatError, ValueError)
