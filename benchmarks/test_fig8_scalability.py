@@ -9,6 +9,7 @@ to keep the NumPy benchmark fast; the relative growth rates are what the
 benchmark asserts.
 """
 
+import json
 import time
 
 from repro.baselines import MondrianBaseline, MondrianConfig
@@ -151,94 +152,175 @@ def test_fig8_scalability(benchmark, encoder, workloads_timestamp, report_writer
 #: baseline topology, served through the same coordinator code path).
 SHARD_COUNTS = (1, 2, 4)
 
+#: Serving configurations compared by the sharded benchmark.  "before"
+#: pins every serve-path optimization off — the seed-equivalent engine —
+#: while "after" turns on the whole two-tier stack: BLAS tier-1 scan over
+#: an int8 scan store with deterministic re-rank, cross-request
+#: query-embedding reuse, and duplicate-cell collapsing.  Responses must
+#: be bit-identical between the two, so the speedup is free of quality
+#: drift by construction.
+SERVING_MODES = {
+    "before": dict(
+        scoring_mode="deterministic",
+        storage_dtype="float32",
+        reuse_query_embeddings=False,
+        collapse_duplicate_cells=False,
+    ),
+    "after": dict(
+        scoring_mode="two_tier",
+        storage_dtype="int8",
+        reuse_query_embeddings=True,
+        collapse_duplicate_cells=True,
+    ),
+}
 
-def test_fig8_sharded_scaling(benchmark, encoder, workloads_timestamp, report_writer):
-    """Fig. 8 sharded variant: serve-path throughput vs shard count.
+#: Acceptance floor: "after" must serve the stream at least this many
+#: times faster than "before" on the unsharded topology.
+MIN_UNSHARDED_SPEEDUP = 3.0
+
+
+def test_fig8_sharded_scaling(benchmark, encoder, workloads_timestamp, report_writer, results_dir):
+    """Fig. 8 sharded variant: serve-path throughput vs shard count,
+    before/after the two-tier scoring + serve-path-reuse stack.
 
     Builds the largest sweep corpus once, then serves an identical
     request stream through a plain :class:`Workspace` and through
-    :class:`ShardedWorkspace` at each shard count, measuring offline
-    indexing time (shards fit in parallel) and end-to-end serving
-    throughput.  Responses must be bit-identical across *every* topology
-    — sharding is a pure execution strategy — which doubles as the
-    benchmark-scale parity check for the invariant suite.
+    :class:`ShardedWorkspace` at each shard count, in both serving modes,
+    measuring offline indexing time (shards fit in parallel) and
+    end-to-end serving throughput/latency.  Responses must be
+    bit-identical across *every* topology — sharding is a pure execution
+    strategy — and across *both* modes — the optimizations are exact —
+    which doubles as the benchmark-scale parity check for the invariant
+    suite.  Emits ``BENCH_fig8_sharded.json`` next to the text report.
     """
     reference = _build_reference_pool(SWEEP_SIZES[-1])
     query_cases = workloads_timestamp["PGE"].cases[:8]
-    # A serving-shaped stream: several requests per target sheet.
+    # A serving-shaped stream: several requests per target sheet *and*
+    # repeated (sheet, cell) queries, as concurrent users of a shared
+    # workbook produce (the original 24-request stream was "far from heavy
+    # traffic"; x6 duplication keeps the 8 unique queries while giving the
+    # serve path a realistic amount of redundancy to amortize).
     requests = [
         RecommendationRequest(case.target_sheet, case.target_cell, request_id=str(index))
-        for index, case in enumerate(query_cases * 3)
+        for index, case in enumerate(query_cases * 6)
     ]
-    config = AutoFormulaConfig()
+
+    def measure(workspace):
+        workspace.serve_batch(requests[: len(query_cases)])  # warm caches
+        start = time.perf_counter()
+        responses = workspace.serve_batch(requests)
+        elapsed = time.perf_counter() - start
+        return responses, {
+            "throughput_rps": len(requests) / elapsed,
+            "p50_seconds": workspace.latency.percentile(0.5),
+            "p99_seconds": workspace.latency.percentile(0.99),
+        }
 
     def run_sweep():
         results = {}
+        reference_responses = None
+        for mode, knobs in SERVING_MODES.items():
+            config = AutoFormulaConfig(**knobs)
+            results[mode] = {}
 
-        start = time.perf_counter()
-        plain = Workspace("fig8-plain", AutoFormula(encoder, config))
-        plain.add_workbooks(reference)
-        offline_seconds = time.perf_counter() - start
-        plain.serve_batch(requests[: len(query_cases)])  # warm caches
-        start = time.perf_counter()
-        baseline_responses = plain.serve_batch(requests)
-        elapsed = time.perf_counter() - start
-        results["unsharded"] = {
-            "offline_seconds": offline_seconds,
-            "throughput_rps": len(requests) / elapsed,
-            "p50_seconds": plain.latency.percentile(0.5),
-        }
-
-        for n_shards in SHARD_COUNTS:
             start = time.perf_counter()
-            sharded = ShardedWorkspace(
-                f"fig8-sharded-{n_shards}",
-                lambda: AutoFormula(encoder, config),
-                n_shards,
-            )
-            sharded.add_workbooks(reference)
+            plain = Workspace(f"fig8-plain-{mode}", AutoFormula(encoder, config))
+            plain.add_workbooks(reference)
             offline_seconds = time.perf_counter() - start
-            sharded.serve_batch(requests[: len(query_cases)])  # warm caches
-            start = time.perf_counter()
-            responses = sharded.serve_batch(requests)
-            elapsed = time.perf_counter() - start
-            results[f"sharded K={n_shards}"] = {
-                "offline_seconds": offline_seconds,
-                "throughput_rps": len(requests) / elapsed,
-                "p50_seconds": sharded.latency.percentile(0.5),
-            }
-            # Sharding must not change a single answer.
-            assert [
-                (r.formula, r.confidence, r.abstain_reason) for r in responses
-            ] == [
+            baseline_responses, row = measure(plain)
+            row["offline_seconds"] = offline_seconds
+            results[mode]["unsharded"] = row
+            baseline_keys = [
                 (r.formula, r.confidence, r.abstain_reason) for r in baseline_responses
-            ], f"sharded K={n_shards} diverged from unsharded serving"
-            sharded.close()
+            ]
+            if reference_responses is None:
+                reference_responses = baseline_keys
+            else:
+                # The whole optimization stack is exact: "after" answers
+                # must match "before" bit for bit.
+                assert baseline_keys == reference_responses, (
+                    f"serving mode {mode!r} diverged from the baseline engine"
+                )
+
+            for n_shards in SHARD_COUNTS:
+                start = time.perf_counter()
+                sharded = ShardedWorkspace(
+                    f"fig8-sharded-{mode}-{n_shards}",
+                    lambda: AutoFormula(encoder, config),
+                    n_shards,
+                )
+                sharded.add_workbooks(reference)
+                offline_seconds = time.perf_counter() - start
+                responses, row = measure(sharded)
+                row["offline_seconds"] = offline_seconds
+                results[mode][f"sharded K={n_shards}"] = row
+                # Sharding must not change a single answer.
+                assert [
+                    (r.formula, r.confidence, r.abstain_reason) for r in responses
+                ] == baseline_keys, (
+                    f"sharded K={n_shards} diverged from unsharded serving ({mode})"
+                )
+                sharded.close()
         return results
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
     lines = [
-        "Figure 8 (sharded variant): serve-path scaling vs shard count",
+        "Figure 8 (sharded variant): serve-path scaling vs shard count,",
+        "before/after two-tier scoring (int8 scan store) + embedding reuse",
+        "+ duplicate collapsing.  Responses are bit-identical across all",
+        "topologies and both modes.",
         f"corpus: {len(reference)} workbooks; stream: {len(requests)} requests",
         "",
-        f"{'topology':16s} {'offline (s)':>12s} {'throughput (req/s)':>20s} {'p50 (s)':>10s}",
     ]
-    for label, row in results.items():
-        lines.append(
-            f"{label:16s} {row['offline_seconds']:>12.3f} "
-            f"{row['throughput_rps']:>20.1f} {row['p50_seconds']:>10.4f}"
-        )
+    header = (
+        f"{'mode':8s} {'topology':14s} {'offline (s)':>12s} "
+        f"{'throughput (req/s)':>20s} {'p50 (s)':>10s} {'p99 (s)':>10s}"
+    )
+    lines.append(header)
+    for mode, topologies in results.items():
+        for label, row in topologies.items():
+            lines.append(
+                f"{mode:8s} {label:14s} {row['offline_seconds']:>12.3f} "
+                f"{row['throughput_rps']:>20.1f} {row['p50_seconds']:>10.4f} "
+                f"{row['p99_seconds']:>10.4f}"
+            )
+    speedup = (
+        results["after"]["unsharded"]["throughput_rps"]
+        / results["before"]["unsharded"]["throughput_rps"]
+    )
+    lines.append("")
+    lines.append(f"unsharded after/before speedup: {speedup:.2f}x")
     report_writer("fig8_sharded_scaling", lines)
 
-    # Shape assertions, deliberately tolerant of machine variance: the
-    # coordinator overhead must stay bounded (a sharded topology serves at
-    # a comparable order of magnitude to the unsharded engine), and the
+    # The machine-readable companion (uploaded as a CI artifact).
+    payload = {
+        "benchmark": "fig8_sharded_scaling",
+        "corpus_workbooks": len(reference),
+        "stream_requests": len(requests),
+        "shard_counts": list(SHARD_COUNTS),
+        "modes": {mode: dict(knobs) for mode, knobs in SERVING_MODES.items()},
+        "results": results,
+        "unsharded_speedup": speedup,
+    }
+    (results_dir / "BENCH_fig8_sharded.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    # Shape assertions, deliberately tolerant of machine variance on the
+    # sharding axis: the coordinator overhead must stay bounded and the
     # widest fan-out must not be the slowest way to serve the stream.
-    base = results["unsharded"]["throughput_rps"]
-    for n_shards in SHARD_COUNTS:
-        assert results[f"sharded K={n_shards}"]["throughput_rps"] >= 0.25 * base
-    assert (
-        results[f"sharded K={SHARD_COUNTS[-1]}"]["throughput_rps"]
-        >= 0.8 * results["sharded K=1"]["throughput_rps"]
+    for mode in SERVING_MODES:
+        base = results[mode]["unsharded"]["throughput_rps"]
+        for n_shards in SHARD_COUNTS:
+            assert results[mode][f"sharded K={n_shards}"]["throughput_rps"] >= 0.25 * base
+        assert (
+            results[mode][f"sharded K={SHARD_COUNTS[-1]}"]["throughput_rps"]
+            >= 0.8 * results[mode]["sharded K=1"]["throughput_rps"]
+        )
+    # The acceptance floor for this figure: the optimization stack serves
+    # the same stream >= 3x faster at bit-identical answers.
+    assert speedup >= MIN_UNSHARDED_SPEEDUP, (
+        f"after/before unsharded speedup {speedup:.2f}x below "
+        f"{MIN_UNSHARDED_SPEEDUP}x"
     )

@@ -47,6 +47,4 @@ def create_index(kind: str, dimension: int, **kwargs) -> VectorIndex:
         raise ValueError(
             f"unknown index kind {kind!r}; expected one of {sorted(KNOWN_INDEX_KINDS)}"
         )
-    if builder is ExactIndex:
-        return ExactIndex(dimension)
     return builder(dimension, **kwargs)

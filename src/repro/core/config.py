@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.ann import KNOWN_INDEX_KINDS
+from repro.ann.base import VALID_SCORING_MODES, VALID_STORAGE_DTYPES
 
 
 @dataclass
@@ -41,6 +42,29 @@ class AutoFormulaConfig:
     #: Which model drives which search: "both" (paper), "coarse_only" or
     #: "fine_only" (the Figure 14 ablation).
     granularity: str = "both"
+    #: Index scoring architecture: "deterministic" scores every candidate
+    #: with the fixed-order einsum (the historical path); "two_tier" scans
+    #: with BLAS over the storage backend and exactly re-ranks a guaranteed
+    #: top slice — final rankings stay bit-identical either way.
+    scoring_mode: str = "deterministic"
+    #: Tier-1 scan store dtype: "float32", "float16", or symmetric "int8"
+    #: with per-vector scales.  Non-float32 requires ``scoring_mode ==
+    #: "two_tier"`` (the deterministic path never reads quantized codes).
+    storage_dtype: str = "float32"
+    #: Tier-2 re-ranks at most ``ceil(k * tier1_overfetch)`` candidates per
+    #: query row before falling back to one-tier scoring for that row.
+    tier1_overfetch: float = 4.0
+    #: Reuse query-side sheet embeddings across requests: vectors are keyed
+    #: by sheet identity + mutation version (and by the wire-layer content
+    #: hash when present), so coalesced batches and repeated requests for
+    #: the same sheet encode once.  Bit-identical either way — the cache
+    #: returns the exact vector the encoder would produce.
+    reuse_query_embeddings: bool = True
+    #: Collapse duplicate (sheet, cell) requests inside one ``serve_batch``
+    #: call: the prediction is computed once and fanned out to every
+    #: requester.  Bit-identical either way — predictions are deterministic
+    #: per (sheet, cell).
+    collapse_duplicate_cells: bool = True
 
     def __post_init__(self) -> None:
         if self.top_k_sheets <= 0:
@@ -64,3 +88,19 @@ class AutoFormulaConfig:
                 raise ValueError(
                     f"unknown {label} {kind!r}; expected one of {sorted(KNOWN_INDEX_KINDS)}"
                 )
+        if self.scoring_mode not in VALID_SCORING_MODES:
+            raise ValueError(
+                f"unknown scoring_mode {self.scoring_mode!r}; "
+                f"expected one of {VALID_SCORING_MODES}"
+            )
+        if self.storage_dtype not in VALID_STORAGE_DTYPES:
+            raise ValueError(
+                f"unknown storage_dtype {self.storage_dtype!r}; "
+                f"expected one of {VALID_STORAGE_DTYPES}"
+            )
+        if self.storage_dtype != "float32" and self.scoring_mode != "two_tier":
+            raise ValueError(
+                f"storage_dtype={self.storage_dtype!r} requires scoring_mode='two_tier'"
+            )
+        if not self.tier1_overfetch >= 1.0:
+            raise ValueError("tier1_overfetch must be >= 1.0")

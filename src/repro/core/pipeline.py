@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -103,6 +105,42 @@ class ScoredPrediction:
     formula_index: int
 
 
+class _ContentKeyedVectorLRU:
+    """Bounded, thread-safe ``(content key, version) -> vector`` cache.
+
+    The wire layer's :class:`~repro.server.schemas.SheetInterner` stamps
+    decoded sheets with their content hash; this cache lets two *distinct*
+    sheet objects with identical content (e.g. the same payload arriving
+    after the interner evicted its entry) share one query embedding.
+    Vectors are stored read-only.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self._mutex = threading.Lock()
+
+    def get(self, key: Tuple[str, int]) -> Optional[np.ndarray]:
+        with self._mutex:
+            vector = self._entries.get(key)
+            if vector is not None:
+                self._entries.move_to_end(key)
+            return vector
+
+    def put(self, key: Tuple[str, int], vector: np.ndarray) -> None:
+        with self._mutex:
+            self._entries[key] = vector
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+
+
 class AutoFormula(FormulaPredictor):
     """Formula recommendation by similar-sheet / similar-region retrieval.
 
@@ -165,11 +203,50 @@ class AutoFormula(FormulaPredictor):
         self._reduced_cache = SheetKeyedLRU(self.config.max_cached_target_sheets)
         self._reduced_padding: Optional[np.ndarray] = None
         self._fine_fast = _UNSET
+        #: Cross-request S1 query-embedding reuse (off when
+        #: ``config.reuse_query_embeddings`` is false): an identity-keyed
+        #: LRU holding ``(sheet version, vector)`` plus a content-hash-keyed
+        #: LRU for distinct sheet objects carrying the wire layer's
+        #: ``content_key``.  Both are version-checked, so an edited sheet
+        #: always re-encodes.
+        self._query_vector_cache = SheetKeyedLRU(
+            max(self.config.max_cached_target_sheets, 8)
+        )
+        self._query_vector_by_content = _ContentKeyedVectorLRU(
+            4 * max(self.config.max_cached_target_sheets, 8)
+        )
 
     # --------------------------------------------------------------- encoding
 
     def _sheet_vector(self, sheet: Sheet) -> np.ndarray:
-        """Sheet-level embedding (coarse model, unless fine-only ablation)."""
+        """Sheet-level embedding (coarse model, unless fine-only ablation).
+
+        Query-side only — reference sheets are embedded in bulk by
+        ``_index_sheets``.  With ``reuse_query_embeddings`` on, the vector
+        is cached by sheet identity + mutation version (and by the wire
+        layer's content hash when the sheet carries one), so repeated
+        requests for the same sheet within and across batches encode once.
+        """
+        if not self.config.reuse_query_embeddings:
+            return self._encode_sheet_vector(sheet)
+        version = sheet.version
+        cached = self._query_vector_cache.get(sheet)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        content_key = getattr(sheet, "content_key", None)
+        if content_key is not None:
+            vector = self._query_vector_by_content.get((content_key, version))
+            if vector is not None:
+                self._query_vector_cache.put(sheet, (version, vector))
+                return vector
+        vector = self._encode_sheet_vector(sheet)
+        vector.flags.writeable = False
+        self._query_vector_cache.put(sheet, (version, vector))
+        if content_key is not None:
+            self._query_vector_by_content.put((content_key, version), vector)
+        return vector
+
+    def _encode_sheet_vector(self, sheet: Sheet) -> np.ndarray:
         window = self.encoder.featurizer.featurize_sheet(sheet)[None, ...]
         if self.config.granularity == "fine_only":
             return self.encoder.fine_model.forward(window)[0]
@@ -354,6 +431,8 @@ class AutoFormula(FormulaPredictor):
         self._target_cache.clear()
         self._reference_region_cache.clear()
         self._reduced_cache.clear()
+        self._query_vector_cache.clear()
+        self._query_vector_by_content.clear()
         # The encoder's models (weights or whole objects) may have changed
         # since the last fit; drop everything derived from them.
         self._reduced_padding = None
@@ -369,8 +448,17 @@ class AutoFormula(FormulaPredictor):
             if self.config.granularity == "coarse_only"
             else self.encoder.fine_dimension
         )
-        self._sheet_index = create_index(self.config.sheet_index_kind, sheet_dimension)
-        self._formula_index = create_index(self.config.formula_index_kind, region_dimension)
+        index_kwargs = dict(
+            scoring_mode=self.config.scoring_mode,
+            storage_dtype=self.config.storage_dtype,
+            tier1_overfetch=self.config.tier1_overfetch,
+        )
+        self._sheet_index = create_index(
+            self.config.sheet_index_kind, sheet_dimension, **index_kwargs
+        )
+        self._formula_index = create_index(
+            self.config.formula_index_kind, region_dimension, **index_kwargs
+        )
         self._formula_positions = []
         self._sheet_positions = []
         self._sheet_store_size = 0
@@ -549,6 +637,13 @@ class AutoFormula(FormulaPredictor):
             "granularity": self.config.granularity,
             "sheet_index_kind": self.config.sheet_index_kind,
             "formula_index_kind": self.config.formula_index_kind,
+            # Informational: the scan-store layout this snapshot's arrays
+            # were written with.  Restore does NOT require a match — the
+            # exact float32 store is authoritative and quantized codes are
+            # a pure function of it, so a predictor configured differently
+            # simply re-derives (or ignores) the scan store.
+            "scoring_mode": self.config.scoring_mode,
+            "storage_dtype": self.config.storage_dtype,
             "fitted": self._sheet_index is not None,
             "sheet_store_size": int(self._sheet_store_size),
             "formula_store_size": int(self._formula_store_size),
@@ -653,12 +748,18 @@ class AutoFormula(FormulaPredictor):
             arrays["sheet_matrix"],
             arrays["sheet_sq_norms"],
             arrays["sheet_alive"],
+            codes=arrays.get("sheet_codes"),
+            scales=arrays.get("sheet_scales"),
+            recon_errors=arrays.get("sheet_recon_errors"),
         )
         self._formula_index.restore_store(
             [(int(sheet_id), int(local)) for sheet_id, local in arrays["formula_keys"]],
             arrays["formula_matrix"],
             arrays["formula_sq_norms"],
             arrays["formula_alive"],
+            codes=arrays.get("formula_codes"),
+            scales=arrays.get("formula_scales"),
+            recon_errors=arrays.get("formula_recon_errors"),
         )
         self._sheet_positions = [
             None if position < 0 else int(position)
@@ -674,6 +775,22 @@ class AutoFormula(FormulaPredictor):
         ]
         self._sheet_store_size = int(state["sheet_store_size"])
         self._formula_store_size = int(state["formula_store_size"])
+
+    def memory_stats(self) -> Dict[str, object]:
+        """Resident-byte accounting of both vector indexes (JSON-ready).
+
+        See :meth:`repro.ann.VectorIndex.memory_stats`; ``total_bytes``
+        sums both indexes so serving layers can aggregate across shards.
+        """
+        sheet = self._sheet_index.memory_stats() if self._sheet_index is not None else None
+        formula = (
+            self._formula_index.memory_stats() if self._formula_index is not None else None
+        )
+        total = 0
+        for stats in (sheet, formula):
+            if stats is not None:
+                total += int(stats["bytes"]["total"])  # type: ignore[index]
+        return {"sheet_index": sheet, "formula_index": formula, "total_bytes": total}
 
     @property
     def sheet_index(self):

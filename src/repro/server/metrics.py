@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence
 
 from repro.evaluation.latency import LatencyRecorder
 
@@ -53,6 +53,7 @@ class ServerMetrics:
         self._endpoints: Dict[str, LatencyRecorder] = {}
         self._queue_wait = LatencyRecorder(window_size=latency_window)
         self._queue_gauges: Dict[str, Callable[[], int]] = {}
+        self._memory_gauges: Dict[str, Callable[[], Dict[str, object]]] = {}
 
     # ------------------------------------------------------------- recording
 
@@ -91,6 +92,27 @@ class ServerMetrics:
         with self._mutex:
             self._queue_gauges[name] = depth
 
+    def register_memory_gauge(
+        self, name: str, stats: Callable[[], Dict[str, object]]
+    ) -> None:
+        """Register an index-memory-footprint callback (one per workspace).
+
+        The callback returns a JSON-ready dict (see
+        :meth:`repro.service.workspace.Workspace.memory_stats` — bytes by
+        array/dtype, tombstone overhead, quantization savings) and is
+        sampled at snapshot time so ``/stats`` reports the live footprint.
+        Re-registering a name replaces the callback.
+        """
+        with self._mutex:
+            self._memory_gauges[name] = stats
+
+    def prune_memory_gauges(self, keep: Sequence[str]) -> None:
+        """Drop memory gauges for workspaces that no longer exist."""
+        keep_set = set(keep)
+        with self._mutex:
+            for name in [name for name in self._memory_gauges if name not in keep_set]:
+                del self._memory_gauges[name]
+
     # ------------------------------------------------------------- reporting
 
     @property
@@ -108,6 +130,7 @@ class ServerMetrics:
             counters = dict(self._counters)
             batch_sizes = {str(size): count for size, count in sorted(self._batch_sizes.items())}
             gauges = dict(self._queue_gauges)
+            memory_gauges = dict(self._memory_gauges)
             endpoints = dict(self._endpoints)
         batches = counters.get(BATCHES, 0)
         coalescing = counters.get(BATCHED_REQUESTS, 0) / batches if batches else 0.0
@@ -117,5 +140,6 @@ class ServerMetrics:
             "coalescing_ratio": coalescing,
             "queue_depths": {name: int(depth()) for name, depth in gauges.items()},
             "queue_wait": self._queue_wait.summary(),
+            "index_memory": {name: stats() for name, stats in memory_gauges.items()},
             "endpoints": {name: recorder.summary() for name, recorder in endpoints.items()},
         }

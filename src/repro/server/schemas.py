@@ -113,6 +113,9 @@ class SheetInterner:
             raise
         except Exception as exc:
             raise SchemaError(f"malformed sheet payload: {exc}") from exc
+        # Stamp the content hash so query-embedding caches downstream can
+        # recognize byte-identical sheets even across interner evictions.
+        sheet.content_key = key
         self._entries[key] = sheet
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)

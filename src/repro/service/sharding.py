@@ -597,14 +597,38 @@ class ShardedWorkspace:
             for position, request in enumerate(requests):
                 groups.setdefault(id(request.sheet), []).append(position)
 
+            # Duplicate-cell collapsing mirrors Workspace.serve_batch:
+            # deterministic per-(sheet, cell) predictions are computed once
+            # and fanned out — bit-identical to computing each copy.
+            collapse = bool(
+                getattr(
+                    getattr(self._predictors[0], "config", None),
+                    "collapse_duplicate_cells",
+                    False,
+                )
+            )
             responses: List[Optional[RecommendationResponse]] = [None] * len(requests)
             for positions in groups.values():
                 sheet = requests[positions[0]].sheet
                 cells = [requests[position].cell for position in positions]
+                slots = list(range(len(positions)))
+                if collapse:
+                    unique_cells: List = []
+                    slot_of: Dict[object, int] = {}
+                    for index, cell in enumerate(cells):
+                        slot = slot_of.get(cell)
+                        if slot is None:
+                            slot = len(unique_cells)
+                            slot_of[cell] = slot
+                            unique_cells.append(cell)
+                        slots[index] = slot
+                    cells = unique_cells
                 start = time.perf_counter()
                 predictions = self._predict_group(sheet, cells)
                 per_request = (time.perf_counter() - start) / len(positions)
-                for position, prediction in zip(positions, predictions):
+                for position, prediction in zip(
+                    positions, (predictions[slot] for slot in slots)
+                ):
                     self.latency.record(per_request)
                     request = requests[position]
                     if prediction is None:
@@ -825,6 +849,20 @@ class ShardedWorkspace:
             error = future.exception()
             outcomes.append((None, error) if error else (future.result(), None))
         return outcomes
+
+    # ---------------------------------------------------------- observability
+
+    def memory_stats(self) -> Dict[str, object]:
+        """Per-shard index memory footprint plus the cross-shard total."""
+        with self._rwlock.read_lock():
+            shards = []
+            for predictor in self._predictors:
+                stats = getattr(predictor, "memory_stats", None)
+                shards.append(stats() if stats is not None else {"total_bytes": 0})
+        return {
+            "shards": shards,
+            "total_bytes": sum(int(stats.get("total_bytes", 0)) for stats in shards),
+        }
 
     # --------------------------------------------------------------- lifecycle
 

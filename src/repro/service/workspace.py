@@ -469,19 +469,37 @@ class Workspace:
         for position, request in enumerate(requests):
             groups.setdefault(id(request.sheet), []).append(position)
 
+        # Predictions are deterministic per (sheet, cell), so duplicate
+        # cells inside a group can be computed once and fanned out to every
+        # requester — bit-identical to computing each copy.
+        collapse = bool(
+            getattr(getattr(self._predictor, "config", None), "collapse_duplicate_cells", False)
+        )
         responses: List[Optional[RecommendationResponse]] = [None] * len(requests)
         for positions in groups.values():
             sheet = requests[positions[0]].sheet
             cells = [requests[position].cell for position in positions]
+            slots = list(range(len(positions)))
+            if collapse:
+                unique_cells: List = []
+                slot_of: Dict[object, int] = {}
+                for index, cell in enumerate(cells):
+                    slot = slot_of.get(cell)
+                    if slot is None:
+                        slot = len(unique_cells)
+                        slot_of[cell] = slot
+                        unique_cells.append(cell)
+                    slots[index] = slot
+                cells = unique_cells
             start = time.perf_counter()
             predictions = self._predictor.predict_batch(sheet, cells)
             per_request = (time.perf_counter() - start) / len(positions)
-            if len(predictions) != len(positions):
+            if len(predictions) != len(cells):
                 raise RuntimeError(
                     f"{self._predictor.name}.predict_batch violated its contract: "
-                    f"{len(predictions)} predictions for {len(positions)} cells"
+                    f"{len(predictions)} predictions for {len(cells)} cells"
                 )
-            for position, prediction in zip(positions, predictions):
+            for position, prediction in zip(positions, (predictions[slot] for slot in slots)):
                 self.latency.record(per_request)
                 request = requests[position]
                 if prediction is None:
@@ -517,6 +535,21 @@ class Workspace:
             abstain_reason=reason,
             latency_seconds=latency_seconds,
         )
+
+    # ---------------------------------------------------------- observability
+
+    def memory_stats(self) -> Dict[str, object]:
+        """Index memory footprint of the predictor (JSON-ready).
+
+        Delegates to the predictor's ``memory_stats`` when it has one (see
+        :meth:`repro.core.pipeline.AutoFormula.memory_stats`); predictors
+        without index stores report zero bytes.
+        """
+        stats = getattr(self._predictor, "memory_stats", None)
+        if stats is None:
+            return {"total_bytes": 0}
+        with self._rwlock.read_lock():
+            return stats()
 
     # --------------------------------------------------------------- adapters
 

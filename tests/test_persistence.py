@@ -63,14 +63,18 @@ EDIT_WORKLOAD = WorkloadConfig(
 INDEX_KINDS = ("exact", "lsh", "ivf")
 
 
-def _config(kind: str) -> AutoFormulaConfig:
-    return AutoFormulaConfig(sheet_index_kind=kind, formula_index_kind=kind)
+def _config(kind: str, **overrides) -> AutoFormulaConfig:
+    return AutoFormulaConfig(
+        sheet_index_kind=kind, formula_index_kind=kind, **overrides
+    )
 
 
-def _churned_workspace(trained_encoder, kind, seed=11, workload_config=CHURN_WORKLOAD):
+def _churned_workspace(
+    trained_encoder, kind, seed=11, workload_config=CHURN_WORKLOAD, **config_overrides
+):
     """One mutated workspace plus its workload's evaluation cases."""
     workload = generate_workload(seed, workload_config)
-    config = _config(kind)
+    config = _config(kind, **config_overrides)
     replay = replay_workload(
         workload,
         lambda tenant: Workspace(tenant, AutoFormula(trained_encoder, config)),
@@ -153,6 +157,66 @@ class TestRestoreParity:
         finally:
             restored.close()
             workspace.close()
+
+
+@pytest.mark.parametrize("storage_dtype", ("float16", "int8"))
+class TestQuantizedRestoreParity:
+    """Quantized scan stores snapshot and restore bit-identically.
+
+    The snapshot additionally persists the ``codes`` / ``scales`` /
+    ``recon_errors`` blocks, the restore adopts them (memory-mapped),
+    and the restored workspace still answers exactly like a fresh fit —
+    the same acceptance invariant as the float32 suite.
+    """
+
+    def test_quantized_snapshot_restore_matches_fresh_fit(
+        self, trained_encoder, storage_dtype, tmp_path
+    ):
+        workspace, cases, config = _churned_workspace(
+            trained_encoder,
+            "exact",
+            scoring_mode="two_tier",
+            storage_dtype=storage_dtype,
+        )
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        # The quantized scan store is persisted alongside the exact matrix.
+        codes = np.load(directory / "arrays" / "sheet_codes.npy")
+        assert codes.dtype == np.dtype(storage_dtype)
+        assert (directory / "arrays" / "formula_codes.npy").exists()
+        assert (directory / "arrays" / "sheet_recon_errors.npy").exists()
+        if storage_dtype == "int8":
+            assert (directory / "arrays" / "sheet_scales.npy").exists()
+        restored = Workspace.load(directory, AutoFormula(trained_encoder, config))
+        assert_matches_fresh_fit(
+            restored,
+            lambda: AutoFormula(trained_encoder, config),
+            cases,
+            context=f"quantized restored dtype={storage_dtype}",
+        )
+        assert_tombstone_accounting(restored.predictor)
+
+    def test_plain_snapshot_restores_into_quantized_config(
+        self, trained_encoder, storage_dtype, tmp_path
+    ):
+        """Scoring mode/storage dtype are serving-side knobs, not snapshot
+        format: a float32 deterministic snapshot loads into a two-tier
+        quantized predictor (codes re-derived from the exact matrix) and
+        still answers bit-identically to a fresh quantized fit."""
+        workspace, cases, config = _churned_workspace(trained_encoder, "exact")
+        directory = tmp_path / "snap"
+        workspace.save(directory)
+        assert not (directory / "arrays" / "sheet_codes.npy").exists()
+        quantized = _config(
+            "exact", scoring_mode="two_tier", storage_dtype=storage_dtype
+        )
+        restored = Workspace.load(directory, AutoFormula(trained_encoder, quantized))
+        assert_matches_fresh_fit(
+            restored,
+            lambda: AutoFormula(trained_encoder, quantized),
+            cases,
+            context=f"plain snapshot into dtype={storage_dtype}",
+        )
 
 
 # ------------------------------------------------------------ log mechanics

@@ -102,6 +102,12 @@ class TestProtocolBasics:
             assert "acme" in stats["queue_depths"]
             assert "p99_seconds" in stats["workspaces"]["acme"]
             assert stats["config"]["max_batch_size"] >= 1
+            assert stats["config"]["scoring_mode"] == "deterministic"
+            assert stats["config"]["storage_dtype"] == "float32"
+            # Index memory is gauged per workspace; the stub predictor
+            # reports the zero footprint, real AutoFormula byte counts are
+            # covered in tests/test_two_tier.py.
+            assert stats["index_memory"] == {"acme": {"total_bytes": 0}}
 
             # Unknown workspace and unknown routes are 404s.
             with pytest.raises(ServerError) as excinfo:

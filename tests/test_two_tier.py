@@ -1,0 +1,424 @@
+"""Two-tier scoring acceptance suite.
+
+The contract under test: ``scoring_mode="two_tier"`` (BLAS tier-1 scan
+over a float32/float16/int8 scan store + exact einsum re-rank of a
+guaranteed slice) returns **bit-identical** final rankings and distances
+to the historical one-tier deterministic scorer, across index kinds,
+pool sizes, storage dtypes, and tombstone patterns — including the
+automatic per-row fallback when the guaranteed slice overflows the
+over-fetch budget.  Alongside: quantized store persistence/restore
+parity, index memory accounting, serve-loop duplicate collapsing, and
+cross-request query-embedding reuse.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AutoFormula, AutoFormulaConfig, Workspace
+from repro.ann import create_index
+from repro.ann.base import VALID_STORAGE_DTYPES
+from repro.server.metrics import ServerMetrics
+from repro.server.schemas import SheetInterner
+from repro.sheet.io import sheet_to_dict
+from repro.service import RecommendationRequest
+from repro.sheet import CellAddress, Sheet, Workbook
+
+INDEX_KINDS = ("exact", "ivf", "lsh")
+
+
+def _make_pool(rng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    """A duplicate-heavy, tie-provoking vector pool.
+
+    Rows are drawn from a small base set with noise that is often zero or
+    tiny, so exact duplicates, near-duplicates (ULP-scale distances that
+    can clamp to 0.0), and a zero vector all occur — the patterns that
+    stress stable-sort tie-breaking and the clamped-tie slice rule.
+    """
+    base = rng.standard_normal((max(n // 4, 1), d)).astype(np.float32)
+    rows = base[rng.integers(0, base.shape[0], size=n)]
+    noise = rng.standard_normal((n, d)).astype(np.float32) * rng.choice(
+        [0.0, 1e-7, 0.1], size=(n, 1)
+    )
+    pool = (rows + noise).astype(np.float32)
+    if n >= 6:
+        pool[:3] = pool[3:6]
+    if n >= 8:
+        pool[7] = 0.0
+    return pool
+
+
+def _build_pair(kind, dtype, n, d, seed, remove_fraction, overfetch):
+    """A (deterministic, two-tier) index pair fed identical mutations."""
+    rng = np.random.default_rng(seed)
+    data = _make_pool(rng, n, d)
+    keys = [f"v{i}" for i in range(n)]
+    reference = create_index(kind, d)
+    two_tier = create_index(
+        kind,
+        d,
+        scoring_mode="two_tier",
+        storage_dtype=dtype,
+        tier1_overfetch=overfetch,
+    )
+    # Force tier-1 engagement on the tiny pools hypothesis generates.
+    two_tier.tier1_min_pool = 2
+    reference.add_batch(keys, data)
+    two_tier.add_batch(keys, data)
+    n_remove = int(n * remove_fraction)
+    if n_remove:
+        dead = rng.choice(n, size=n_remove, replace=False)
+        reference.remove_batch(dead)
+        two_tier.remove_batch(dead)
+    queries = _make_pool(rng, 5, d)
+    return reference, two_tier, queries, rng
+
+
+@st.composite
+def parity_cases(draw):
+    return dict(
+        kind=draw(st.sampled_from(INDEX_KINDS)),
+        dtype=draw(st.sampled_from(VALID_STORAGE_DTYPES)),
+        n=draw(st.integers(min_value=1, max_value=160)),
+        d=draw(st.integers(min_value=2, max_value=24)),
+        k=draw(st.integers(min_value=1, max_value=12)),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        remove_fraction=draw(st.sampled_from((0.0, 0.25, 0.6))),
+        overfetch=draw(st.sampled_from((1.0, 2.0, 4.0))),
+    )
+
+
+class TestTwoTierParity:
+    """Final rankings must be bit-identical to the one-tier scorer."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(case=parity_cases())
+    def test_search_batch_bit_identical(self, case):
+        k = case.pop("k")
+        reference, two_tier, queries, rng = _build_pair(**case)
+        assert reference.search_batch(queries, k) == two_tier.search_batch(queries, k)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=parity_cases())
+    def test_positions_pool_bit_identical(self, case):
+        """The S2-style caller-provided candidate-pool path."""
+        k = case.pop("k")
+        reference, two_tier, queries, rng = _build_pair(**case)
+        alive = np.flatnonzero(reference._alive[: reference._size])
+        if alive.size < 2:
+            return
+        pool = np.sort(rng.choice(alive, size=max(alive.size // 2, 2), replace=False))
+        assert reference.search_batch(queries, k, positions=pool) == two_tier.search_batch(
+            queries, k, positions=pool
+        )
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    @pytest.mark.parametrize("dtype", VALID_STORAGE_DTYPES)
+    def test_overflow_falls_back_bit_identical(self, kind, dtype):
+        """A pool of near-identical vectors overflows any slice budget:
+        every row must fall back to one-tier scoring, still bit-equal."""
+        rng = np.random.default_rng(3)
+        d, n = 8, 120
+        data = np.tile(rng.standard_normal((1, d)).astype(np.float32), (n, 1))
+        data += rng.standard_normal((n, d)).astype(np.float32) * 1e-7
+        keys = list(range(n))
+        reference = create_index(kind, d)
+        two_tier = create_index(
+            kind, d, scoring_mode="two_tier", storage_dtype=dtype, tier1_overfetch=1.0
+        )
+        two_tier.tier1_min_pool = 2
+        reference.add_batch(keys, data)
+        two_tier.add_batch(keys, data)
+        queries = data[:4] + rng.standard_normal((4, d)).astype(np.float32) * 1e-7
+        assert reference.search_batch(queries, 3) == two_tier.search_batch(queries, 3)
+
+    def test_search_single_matches_batch_row(self):
+        index = create_index("exact", 6, scoring_mode="two_tier", storage_dtype="int8")
+        index.tier1_min_pool = 2
+        rng = np.random.default_rng(5)
+        index.add_batch(list(range(100)), _make_pool(rng, 100, 6))
+        query = rng.standard_normal(6).astype(np.float32)
+        assert index.search(query, 4) == index.search_batch(query[None, :], 4)[0]
+
+
+class TestStorageBackends:
+    """Quantization mechanics of the pluggable scan store."""
+
+    def test_int8_codes_and_scales(self):
+        index = create_index("exact", 4, scoring_mode="two_tier", storage_dtype="int8")
+        vectors = np.array(
+            [[1.0, -2.0, 0.5, 0.0], [0.0, 0.0, 0.0, 0.0]], dtype=np.float32
+        )
+        index.add_batch(["a", "b"], vectors)
+        assert index._codes.dtype == np.int8
+        # Peak magnitude maps to +/-127; the zero vector stays all-zero
+        # codes with a benign scale of 1.0 and zero reconstruction error.
+        assert int(np.abs(index._codes[0]).max()) == 127
+        assert not index._codes[1].any()
+        assert float(index._scales[1]) == 1.0
+        assert float(index._recon_errs[1]) == 0.0
+        recon = index._codes[:2].astype(np.float32) * index._scales[:2, None]
+        errors = np.linalg.norm(vectors - recon, axis=1)
+        assert np.allclose(errors, index._recon_errs[:2], rtol=1e-5, atol=1e-7)
+
+    def test_float16_codes_stay_finite(self):
+        index = create_index("exact", 2, scoring_mode="two_tier", storage_dtype="float16")
+        index.add_batch(["big"], np.array([[1e9, -1e9]], dtype=np.float32))
+        assert np.isfinite(index._codes[: index._size].astype(np.float32)).all()
+        assert np.isfinite(index._recon_errs[: index._size]).all()
+
+    def test_quantized_store_survives_compaction(self):
+        index = create_index("exact", 3, scoring_mode="two_tier", storage_dtype="int8")
+        index.tier1_min_pool = 2
+        rng = np.random.default_rng(7)
+        data = _make_pool(rng, 40, 3)
+        index.add_batch(list(range(40)), data)
+        dead = list(range(24))  # 60% dead: exceeds compaction_fraction
+        remap = index.remove_batch(dead)
+        assert remap is not None and index.n_tombstones == 0
+        fresh = create_index("exact", 3, scoring_mode="two_tier", storage_dtype="int8")
+        fresh.tier1_min_pool = 2
+        kept = list(range(24, 40))
+        fresh.add_batch(kept, data[kept])
+        np.testing.assert_array_equal(index._codes[: index._size], fresh._codes[: fresh._size])
+        np.testing.assert_array_equal(index._scales[: index._size], fresh._scales[: fresh._size])
+        queries = _make_pool(rng, 3, 3)
+        assert index.search_batch(queries, 4) == fresh.search_batch(queries, 4)
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ValueError):
+            create_index("exact", 4, scoring_mode="fast")
+        with pytest.raises(ValueError):
+            create_index("exact", 4, scoring_mode="two_tier", storage_dtype="int4")
+        # Quantized storage without the re-ranking tier would silently
+        # never read the codes; constructing it is an error.
+        with pytest.raises(ValueError):
+            create_index("exact", 4, scoring_mode="deterministic", storage_dtype="int8")
+        with pytest.raises(ValueError):
+            create_index("exact", 4, scoring_mode="two_tier", tier1_overfetch=0.5)
+        with pytest.raises(ValueError):
+            AutoFormulaConfig(scoring_mode="deterministic", storage_dtype="float16")
+        with pytest.raises(ValueError):
+            AutoFormulaConfig(scoring_mode="warp")
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_factory_forwards_scoring_kwargs(self, kind):
+        index = create_index(
+            kind, 8, scoring_mode="two_tier", storage_dtype="float16", tier1_overfetch=2.0
+        )
+        assert index.scoring_mode == "two_tier"
+        assert index.storage_dtype == "float16"
+        assert index.tier1_overfetch == 2.0
+
+
+class TestQuantizedRestore:
+    """store_state/restore_store round trips of the quantized store."""
+
+    @pytest.mark.parametrize("dtype", ("float16", "int8"))
+    def test_restore_adopts_persisted_codes(self, dtype):
+        rng = np.random.default_rng(11)
+        source = create_index("exact", 5, scoring_mode="two_tier", storage_dtype=dtype)
+        source.tier1_min_pool = 2
+        source.add_batch(list(range(60)), _make_pool(rng, 60, 5))
+        source.remove_batch([2, 9])
+        state = source.store_state()
+        assert state["codes"].dtype == np.dtype(dtype)
+        restored = create_index("exact", 5, scoring_mode="two_tier", storage_dtype=dtype)
+        restored.tier1_min_pool = 2
+        restored.restore_store(
+            list(source._keys),
+            state["matrix"],
+            state["sq_norms"],
+            state["alive"],
+            codes=state["codes"],
+            scales=state.get("scales"),
+            recon_errors=state["recon_errors"],
+        )
+        queries = _make_pool(rng, 4, 5)
+        assert restored.search_batch(queries, 5) == source.search_batch(queries, 5)
+
+    def test_restore_requantizes_when_codes_missing(self):
+        """Old snapshots (no quantized blocks) restore by re-deriving the
+        codes from the exact matrix — bit-identical, since quantization is
+        a pure function of the float32 values."""
+        rng = np.random.default_rng(13)
+        source = create_index("exact", 5, scoring_mode="two_tier", storage_dtype="int8")
+        source.tier1_min_pool = 2
+        source.add_batch(list(range(50)), _make_pool(rng, 50, 5))
+        state = source.store_state()
+        restored = create_index("exact", 5, scoring_mode="two_tier", storage_dtype="int8")
+        restored.tier1_min_pool = 2
+        restored.restore_store(
+            list(source._keys), state["matrix"], state["sq_norms"], state["alive"]
+        )
+        np.testing.assert_array_equal(
+            restored._codes[: restored._size], source._codes[: source._size]
+        )
+        np.testing.assert_array_equal(
+            restored._scales[: restored._size], source._scales[: source._size]
+        )
+        queries = _make_pool(rng, 4, 5)
+        assert restored.search_batch(queries, 5) == source.search_batch(queries, 5)
+
+
+class TestMemoryStats:
+    """The /stats index-memory surface."""
+
+    def test_index_memory_accounting(self):
+        index = create_index("exact", 16, scoring_mode="two_tier", storage_dtype="int8")
+        rng = np.random.default_rng(17)
+        index.add_batch(list(range(100)), _make_pool(rng, 100, 16))
+        index.remove_batch([0, 1, 2])
+        stats = index.memory_stats()
+        assert stats["vectors"] == 97
+        assert stats["tombstones"] == 3
+        assert stats["storage_dtype"] == "int8"
+        assert stats["bytes"]["float32_matrix"] == 100 * 16 * 4
+        assert stats["bytes"]["codes"] == 100 * 16  # one byte per component
+        assert stats["bytes"]["total"] == sum(
+            value for key, value in stats["bytes"].items() if key != "total"
+        )
+        # The int8 scan store is ~4x smaller than a float32 scan.
+        assert stats["scan_bytes"] < stats["bytes"]["float32_matrix"] // 2
+        assert stats["quantization_savings_bytes"] > 0
+        assert stats["tombstone_bytes"] > 0
+
+    def test_float32_store_reports_no_savings(self):
+        index = create_index("exact", 8)
+        index.add_batch(["a"], np.ones((1, 8), dtype=np.float32))
+        stats = index.memory_stats()
+        assert stats["quantization_savings_bytes"] == 0
+        assert stats["scan_bytes"] == stats["bytes"]["float32_matrix"]
+
+    def test_workspace_memory_stats(self, trained_encoder):
+        config = AutoFormulaConfig(scoring_mode="two_tier", storage_dtype="int8")
+        workspace = Workspace("w", AutoFormula(trained_encoder, config))
+        workspace.add_workbook(_survey_workbook())
+        stats = workspace.memory_stats()
+        assert stats["total_bytes"] > 0
+        assert stats["sheet_index"]["storage_dtype"] == "int8"
+        assert stats["formula_index"]["quantization_savings_bytes"] > 0
+
+    def test_server_metrics_memory_gauges(self):
+        metrics = ServerMetrics()
+        metrics.register_memory_gauge("main", lambda: {"total_bytes": 123})
+        snapshot = metrics.snapshot()
+        assert snapshot["index_memory"] == {"main": {"total_bytes": 123}}
+        metrics.prune_memory_gauges([])
+        assert metrics.snapshot()["index_memory"] == {}
+
+
+def _survey_workbook(n_rows: int = 12) -> Workbook:
+    sheet = Sheet("Data")
+    for row in range(n_rows):
+        sheet.set((row, 0), float(row + 1))
+        sheet.set((row, 1), float((row + 1) * 2))
+        sheet.set((row, 2), formula=f"=A{row + 1}+B{row + 1}")
+    workbook = Workbook("Survey")
+    workbook.add_sheet(sheet)
+    return workbook
+
+
+def _target_sheet(n_rows: int = 12) -> Sheet:
+    sheet = Sheet("Target")
+    for row in range(n_rows):
+        sheet.set((row, 0), float(row + 3))
+        sheet.set((row, 1), float((row + 3) * 2))
+    return sheet
+
+
+def _response_key(response):
+    return (
+        response.formula,
+        response.confidence,
+        response.abstain_reason,
+        response.provenance,
+    )
+
+
+class TestServeLoopSatellites:
+    """Duplicate collapsing and cross-request query-embedding reuse."""
+
+    def test_collapse_duplicates_bit_identical(self, trained_encoder):
+        target = _target_sheet()
+        requests = [
+            RecommendationRequest(sheet=target, cell=CellAddress(row, 2), request_id=str(i))
+            for i, row in enumerate([4, 4, 7, 4, 7, 9])
+        ]
+        outputs = {}
+        for collapse in (False, True):
+            config = AutoFormulaConfig(
+                collapse_duplicate_cells=collapse, reuse_query_embeddings=False
+            )
+            workspace = Workspace("w", AutoFormula(trained_encoder, config))
+            workspace.add_workbook(_survey_workbook())
+            outputs[collapse] = workspace.serve_batch(requests)
+        assert [_response_key(r) for r in outputs[True]] == [
+            _response_key(r) for r in outputs[False]
+        ]
+        # The request echo is per-caller even for collapsed duplicates.
+        assert [r.request.request_id for r in outputs[True]] == [
+            str(i) for i in range(len(requests))
+        ]
+
+    def test_query_embedding_reused_across_batches(self, trained_encoder):
+        config = AutoFormulaConfig(reuse_query_embeddings=True)
+        predictor = AutoFormula(trained_encoder, config)
+        workspace = Workspace("w", predictor)
+        workspace.add_workbook(_survey_workbook())
+        encodes = []
+        original = predictor._encode_sheet_vector
+        predictor._encode_sheet_vector = lambda sheet: (
+            encodes.append(id(sheet)),
+            original(sheet),
+        )[1]
+        target = _target_sheet()
+        requests = [
+            RecommendationRequest(sheet=target, cell=CellAddress(row, 2)) for row in (4, 6)
+        ]
+        first = workspace.serve_batch(requests)
+        second = workspace.serve_batch(requests)
+        assert encodes == [id(target)]  # one encode across both batches
+        assert [_response_key(r) for r in first] == [_response_key(r) for r in second]
+
+    def test_content_key_shares_embeddings_across_objects(self, trained_encoder):
+        config = AutoFormulaConfig(reuse_query_embeddings=True)
+        predictor = AutoFormula(trained_encoder, config)
+        workspace = Workspace("w", predictor)
+        workspace.add_workbook(_survey_workbook())
+        encodes = []
+        original = predictor._encode_sheet_vector
+        predictor._encode_sheet_vector = lambda sheet: (
+            encodes.append(id(sheet)),
+            original(sheet),
+        )[1]
+        # Two *distinct* sheet objects carrying the interner's content key,
+        # as produced by byte-identical wire payloads after cache eviction.
+        interner = SheetInterner(max_entries=1)
+        payload = sheet_to_dict(_target_sheet())
+        sheet_a = interner.intern(payload)
+        interner.intern(sheet_to_dict(Sheet("evict")))  # evict sheet_a
+        sheet_b = interner.intern(payload)
+        assert sheet_a is not sheet_b
+        assert sheet_a.content_key == sheet_b.content_key is not None
+        workspace.serve_batch([RecommendationRequest(sheet=sheet_a, cell=CellAddress(4, 2))])
+        workspace.serve_batch([RecommendationRequest(sheet=sheet_b, cell=CellAddress(4, 2))])
+        assert encodes == [id(sheet_a)]  # content hit: sheet_b never encoded
+
+    def test_edited_sheet_reencodes(self, trained_encoder):
+        config = AutoFormulaConfig(reuse_query_embeddings=True)
+        predictor = AutoFormula(trained_encoder, config)
+        workspace = Workspace("w", predictor)
+        workspace.add_workbook(_survey_workbook())
+        encodes = []
+        original = predictor._encode_sheet_vector
+        predictor._encode_sheet_vector = lambda sheet: (
+            encodes.append(sheet.version),
+            original(sheet),
+        )[1]
+        target = _target_sheet()
+        workspace.serve_batch([RecommendationRequest(sheet=target, cell=CellAddress(4, 2))])
+        target.set((0, 0), 99.0)  # bumps the sheet's mutation version
+        workspace.serve_batch([RecommendationRequest(sheet=target, cell=CellAddress(4, 2))])
+        assert len(encodes) == 2 and encodes[0] != encodes[1]
