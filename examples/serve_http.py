@@ -11,10 +11,14 @@ like a client application would:
    then as a concurrent client swarm whose same-sheet requests the
    server coalesces into single engine batches,
 4. apply a live cell edit through the edit endpoint (incremental recalc
-   plus re-index), and
+   plus re-index),
 5. read the server's observability surface (/stats): admission counters,
    batch-size histogram, coalescing ratio, queue wait and per-endpoint
-   latency percentiles.
+   latency percentiles, and
+6. pull the tracing/metrics surface: the Prometheus text exposition
+   (/metrics) and the sampled span trees (/traces) of the requests just
+   served, validating both shapes — this script doubles as the CI smoke
+   test for the observability endpoints.
 
 Run with:  python examples/serve_http.py
 """
@@ -100,6 +104,55 @@ def main() -> None:
                 f"p99 {recommend_stats['p99_seconds'] * 1000:.1f} ms "
                 f"over {recommend_stats['count']} calls"
             )
+
+        print("6) Pulling the tracing/metrics surface ...")
+        metrics = client.metrics_text()
+        lines = metrics.strip().splitlines()
+        # Prometheus text exposition: TYPE headers, counters with the
+        # _total suffix, and summary quantiles for endpoint latency.
+        assert any(line.startswith("# TYPE ") for line in lines), "no TYPE headers"
+        assert any(
+            line.startswith("server_accepted_total ") for line in lines
+        ), "missing server_accepted_total"
+        assert any(
+            line.startswith('server_endpoint_seconds{endpoint="recommend"') for line in lines
+        ), "missing recommend latency summary"
+        print(f"   /metrics -> {len(lines)} exposition lines (shape ok)")
+
+        traces = client.traces()
+        assert set(traces) == {"recent", "slow", "stats"}, sorted(traces)
+        recommend_traces = [
+            tree
+            for tree in traces["recent"]
+            if tree["root"]["attributes"].get("endpoint") == "recommend"
+        ]
+        assert recommend_traces, "no recommend trace was sampled"
+
+        def walk(node, names, depth=0, lines_out=None):
+            names.add(node["name"])
+            if lines_out is not None and depth <= 3:
+                lines_out.append(
+                    f"   {'  ' * depth}{node['name']:<18} {node['duration_ms']:>7.2f} ms"
+                )
+            for child in node["children"]:
+                walk(child, names, depth + 1, lines_out)
+
+        # A coalesced batch's flush span lives in its *leader's* trace
+        # (riders carry batch_size attributes instead), so look for a
+        # leader among the sampled recommend requests.
+        tree, stage_names = None, set()
+        for candidate in reversed(recommend_traces):
+            names = set()
+            walk(candidate["root"], names)
+            if "batch.flush" in names:
+                tree, stage_names = candidate, names
+                break
+        assert tree is not None, "no leader trace with a batch.flush span"
+        rendered = []
+        walk(tree["root"], set(), 0, rendered)
+        assert {"http.request", "wire.decode", "batch.flush"} <= stage_names, stage_names
+        print(f"   /traces -> {len(traces['recent'])} sampled traces; one request's tree:")
+        print("\n".join(rendered[:12]))
     print("   server drained and stopped.")
 
 

@@ -64,6 +64,7 @@ from repro.server import (
     ServerConfig,
     start_server_in_background,
 )
+from repro.obs import MetricsRegistry, Tracer, get_tracer
 
 __version__ = "1.0.0"
 
@@ -104,5 +105,8 @@ __all__ = [
     "FormulaServer",
     "ServerConfig",
     "start_server_in_background",
+    "MetricsRegistry",
+    "Tracer",
+    "get_tracer",
     "__version__",
 ]

@@ -34,6 +34,11 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+# Imported from the tracing submodule directly: the ``repro.obs`` package
+# pulls in the metrics registry (and its LatencyRecorder backend), which
+# this low-level index layer has no business depending on.
+from repro.obs.tracing import get_tracer
+
 #: Accepted ``scoring_mode`` spellings.
 VALID_SCORING_MODES = ("deterministic", "two_tier")
 
@@ -445,10 +450,25 @@ class VectorIndex(abc.ABC):
         if self._scoring_mode == "two_tier" and pool >= max(self.tier1_min_pool, 2):
             budget = self._slice_budget(k)
             if pool >= 2 * budget:
-                results = self._score_two_tier(queries, positions, pool, k, budget)
-                if results is not None:
-                    return results
-        return self._score_exact(queries, positions, k)
+                with get_tracer().span(
+                    "index.search",
+                    mode="two_tier",
+                    pool=pool,
+                    k=k,
+                    n_queries=queries.shape[0],
+                    overfetch_budget=budget,
+                ) as span:
+                    results = self._score_two_tier(queries, positions, pool, k, budget)
+                    if results is not None:
+                        return results
+                    # Every row's guaranteed slice overflowed the budget;
+                    # the one-tier scorer over the shared pool is cheaper.
+                    span.set_attribute("mode", "two_tier_overflow")
+                    return self._score_exact(queries, positions, k)
+        with get_tracer().span(
+            "index.search", mode="exact", pool=pool, k=k, n_queries=queries.shape[0]
+        ):
+            return self._score_exact(queries, positions, k)
 
     def _score_exact(
         self, queries: np.ndarray, positions: Optional[np.ndarray], k: int
@@ -533,44 +553,51 @@ class VectorIndex(abc.ABC):
         cheaper than gathering per-row full-pool slices).
         """
         kk = min(k, pool)
-        qq = np.einsum("ij,ij->i", queries, queries)
-        sq_norms = self._sq_norms[: self._size] if positions is None else self._sq_norms[positions]
-        approx = sq_norms[None, :] - 2.0 * self._tier1_cross(queries, positions, pool) + qq[:, None]
-        if self._recon_errs is None:
-            max_err = 0.0
-        else:
-            errs = self._recon_errs[: self._size] if positions is None else self._recon_errs[positions]
-            max_err = float(errs.max()) if errs.size else 0.0
-        margin = self._tier1_margin(qq, sq_norms, max_err)
-        kth = np.partition(approx, kk - 1, axis=1)[:, kk - 1]
-        # Slice rule (see module docstring): everything within 2M of the
-        # tier-1 k-th smallest, plus everything whose exact distance could
-        # clamp to zero and tie there (d <= 0 implies d_hat <= M).
-        threshold = np.maximum(kth + 2.0 * margin, margin)
-        mask = approx <= threshold[:, None]
-        counts = mask.sum(axis=1)
-        ok = counts <= budget
-        if not bool(ok.any()):
-            return None
+        with get_tracer().span("index.tier1", pool=pool, k=k) as tier1_span:
+            qq = np.einsum("ij,ij->i", queries, queries)
+            sq_norms = self._sq_norms[: self._size] if positions is None else self._sq_norms[positions]
+            approx = sq_norms[None, :] - 2.0 * self._tier1_cross(queries, positions, pool) + qq[:, None]
+            if self._recon_errs is None:
+                max_err = 0.0
+            else:
+                errs = self._recon_errs[: self._size] if positions is None else self._recon_errs[positions]
+                max_err = float(errs.max()) if errs.size else 0.0
+            margin = self._tier1_margin(qq, sq_norms, max_err)
+            kth = np.partition(approx, kk - 1, axis=1)[:, kk - 1]
+            # Slice rule (see module docstring): everything within 2M of the
+            # tier-1 k-th smallest, plus everything whose exact distance could
+            # clamp to zero and tie there (d <= 0 implies d_hat <= M).
+            threshold = np.maximum(kth + 2.0 * margin, margin)
+            mask = approx <= threshold[:, None]
+            counts = mask.sum(axis=1)
+            ok = counts <= budget
+            tier1_span.set_attribute("max_slice", int(counts.max()))
+            if not bool(ok.any()):
+                return None
         results: List[Optional[List[SearchResult]]] = [None] * queries.shape[0]
         ok_rows = np.flatnonzero(ok)
-        row_index, col_index = np.nonzero(mask[ok_rows])
-        ok_counts = counts[ok_rows]
-        width = int(ok_counts.max())
-        padded = np.zeros((ok_rows.size, width), dtype=np.int64)
-        valid = np.zeros((ok_rows.size, width), dtype=bool)
-        slot = np.arange(row_index.size) - np.repeat(
-            np.concatenate(([0], np.cumsum(ok_counts)[:-1])), ok_counts
-        )
-        padded[row_index, slot] = col_index
-        valid[row_index, slot] = True
-        absolute = padded if positions is None else positions[padded]
-        for row, hits in zip(ok_rows, self._score_padded(queries[ok_rows], absolute, valid, k)):
-            results[int(row)] = hits
         bad_rows = np.flatnonzero(~ok)
-        if bad_rows.size:
-            for row, hits in zip(bad_rows, self._score_exact(queries[bad_rows], positions, k)):
+        with get_tracer().span(
+            "index.tier2",
+            n_rows=int(ok_rows.size),
+            fallback_rows=int(bad_rows.size),
+        ):
+            row_index, col_index = np.nonzero(mask[ok_rows])
+            ok_counts = counts[ok_rows]
+            width = int(ok_counts.max())
+            padded = np.zeros((ok_rows.size, width), dtype=np.int64)
+            valid = np.zeros((ok_rows.size, width), dtype=bool)
+            slot = np.arange(row_index.size) - np.repeat(
+                np.concatenate(([0], np.cumsum(ok_counts)[:-1])), ok_counts
+            )
+            padded[row_index, slot] = col_index
+            valid[row_index, slot] = True
+            absolute = padded if positions is None else positions[padded]
+            for row, hits in zip(ok_rows, self._score_padded(queries[ok_rows], absolute, valid, k)):
                 results[int(row)] = hits
+            if bad_rows.size:
+                for row, hits in zip(bad_rows, self._score_exact(queries[bad_rows], positions, k)):
+                    results[int(row)] = hits
         return results  # type: ignore[return-value]
 
     def _score_padded(

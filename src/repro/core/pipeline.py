@@ -19,6 +19,7 @@ from repro.formula.template import formula_references, instantiate_template
 from repro.formula.tokenizer import FormulaSyntaxError
 from repro.models.encoder import SheetEncoder
 from repro.nn.layers import Dropout, Flatten, L2Normalize, Linear, ReLU, Tanh
+from repro.obs import get_tracer
 from repro.sheet.addressing import CellAddress, RangeAddress
 from repro.sheet.sheet import Sheet
 from repro.sheet.workbook import Workbook
@@ -869,11 +870,16 @@ class AutoFormula(FormulaPredictor):
         """
         if not self._reference_sheets or self._sheet_index is None or len(self._sheet_index) == 0:
             return []
-        if query_vector is None:
-            query_vector = self._sheet_vector(target_sheet)
-        return self._sheet_index.search(
-            query_vector, k=self.config.top_k_sheets if k is None else k
-        )
+        with get_tracer().span(
+            "s1.sheet_hits", k=self.config.top_k_sheets if k is None else k
+        ) as span:
+            if query_vector is None:
+                query_vector = self._sheet_vector(target_sheet)
+            hits = self._sheet_index.search(
+                query_vector, k=self.config.top_k_sheets if k is None else k
+            )
+            span.set_attribute("n_hits", len(hits))
+            return hits
 
     def predict_batch_scored(
         self,
@@ -925,26 +931,32 @@ class AutoFormula(FormulaPredictor):
             return [None] * len(cells)
 
         # S2: one matmul scoring all target regions against the pool.
-        if target_vectors is None:
-            target_vectors = self._region_vectors(target_sheet, cells, blank_center=True)
-        hit_lists = self._formula_index.search_batch(target_vectors, k=1, positions=pool)
+        with get_tracer().span(
+            "s2.score", n_cells=len(cells), pool_size=int(pool.size), adapt=adapt
+        ) as span:
+            if target_vectors is None:
+                target_vectors = self._region_vectors(target_sheet, cells, blank_center=True)
+            hit_lists = self._formula_index.search_batch(target_vectors, k=1, positions=pool)
 
-        results: List[Optional[ScoredPrediction]] = []
-        for target_cell, hits in zip(cells, hit_lists):
-            if not hits:
-                results.append(None)
-                continue
-            distance = hits[0].distance
-            sheet_position, local = hits[0].key
-            sheet_rank = rank_of[int(sheet_position)]
-            if not adapt or distance > self.config.acceptance_threshold:
-                results.append(ScoredPrediction(None, distance, sheet_rank, int(local)))
-                continue
-            prediction = self._adapt_hit(
-                target_sheet, target_cell, int(sheet_position), int(local), distance
-            )
-            results.append(ScoredPrediction(prediction, distance, sheet_rank, int(local)))
-        return results
+            results: List[Optional[ScoredPrediction]] = []
+            n_adapted = 0
+            for target_cell, hits in zip(cells, hit_lists):
+                if not hits:
+                    results.append(None)
+                    continue
+                distance = hits[0].distance
+                sheet_position, local = hits[0].key
+                sheet_rank = rank_of[int(sheet_position)]
+                if not adapt or distance > self.config.acceptance_threshold:
+                    results.append(ScoredPrediction(None, distance, sheet_rank, int(local)))
+                    continue
+                prediction = self._adapt_hit(
+                    target_sheet, target_cell, int(sheet_position), int(local), distance
+                )
+                n_adapted += 1
+                results.append(ScoredPrediction(prediction, distance, sheet_rank, int(local)))
+            span.set_attribute("n_adapted", n_adapted)
+            return results
 
     def adapt_batch(
         self,
@@ -960,10 +972,11 @@ class AutoFormula(FormulaPredictor):
         fails), identical to what the un-split pipeline would produce.
         The caller is responsible for the acceptance-threshold check.
         """
-        return [
-            self._adapt_hit(target_sheet, cell, int(sheet_id), int(local), distance)
-            for cell, sheet_id, local, distance in items
-        ]
+        with get_tracer().span("s3.adapt", n_items=len(items)):
+            return [
+                self._adapt_hit(target_sheet, cell, int(sheet_id), int(local), distance)
+                for cell, sheet_id, local, distance in items
+            ]
 
     def _adapt_hit(
         self,

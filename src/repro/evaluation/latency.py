@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections import deque
@@ -27,14 +28,36 @@ class LatencyRecorder:
     recorded sample, while percentiles are computed over a sliding window
     of the most recent ``window_size`` samples.
 
+    ``reservoir_size`` switches the percentile store to *bounded-memory
+    reservoir mode* (the metrics registry's histogram backend): instead
+    of the most-recent window, a fixed-size uniform sample of the
+    **whole** stream is kept via Vitter's Algorithm R, so a registry with
+    hundreds of histograms stays small and percentiles approximate the
+    all-time distribution within sampling tolerance.  The reservoir's
+    replacement draws come from a private seeded ``random.Random`` —
+    never the global RNG, whose stream the test suite seeds for
+    reproducible workloads.
+
     Recording and reading are guarded by a mutex: concurrent serving
     threads all record on their workspace's shared recorder.
     """
 
-    def __init__(self, window_size: int = 8192) -> None:
+    def __init__(
+        self, window_size: int = 8192, reservoir_size: Optional[int] = None
+    ) -> None:
         if window_size <= 0:
             raise ValueError("window_size must be positive")
-        self._window: Deque[float] = deque(maxlen=window_size)
+        if reservoir_size is not None and reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self._reservoir_size = reservoir_size
+        if reservoir_size is not None:
+            # A list, not a deque: Algorithm R replaces random slots, and
+            # deque indexing is O(n) while list indexing is O(1).
+            self._window: List[float] = []
+            self._rng = random.Random(0x0B5E55)
+        else:
+            self._window = deque(maxlen=window_size)
+            self._rng = None
         self._count = 0
         self._total = 0.0
         self._max = 0.0
@@ -50,11 +73,21 @@ class LatencyRecorder:
             raise ValueError("latency must be non-negative")
         seconds = float(seconds)
         with self._mutex:
-            self._window.append(seconds)
             self._count += 1
             self._total += seconds
             if seconds > self._max:
                 self._max = seconds
+            if self._reservoir_size is None:
+                self._window.append(seconds)
+            elif len(self._window) < self._reservoir_size:
+                self._window.append(seconds)
+            else:
+                # Algorithm R: the i-th sample replaces a random slot with
+                # probability reservoir_size / i, keeping the reservoir a
+                # uniform sample of everything ever recorded.
+                slot = self._rng.randrange(self._count)
+                if slot < self._reservoir_size:
+                    self._window[slot] = seconds
 
     @property
     def total_seconds(self) -> float:

@@ -76,6 +76,7 @@ from repro.formula.functions import (
 )
 from repro.formula.parser import parse_formula
 from repro.formula.tokenizer import FormulaSyntaxError
+from repro.obs.tracing import get_tracer
 from repro.sheet.addressing import AddressError, CellAddress, RangeAddress
 from repro.sheet.sheet import AddressLike, Sheet, _to_address
 
@@ -233,25 +234,30 @@ class FormulaEngine:
         self._sync()
         if not self._dirty:
             return RecalcReport(0, 0)
-        # The dirty set is maintained closed under the dependents relation
-        # (see _mark_dirty), so it *is* the recomputation closure; while
-        # the pass runs, reads of not-yet-committed members go through the
-        # memo, never the cell.
-        memo: Dict[CellAddress, object] = {}
-        recalculated = errored = 0
-        for address in sorted(self._dirty):
-            value = self._cell_value(address, frozenset(), 0, memo)
-            cell = self._sheet.get(address)
-            if not cell.has_formula:
-                continue
-            cell.value = value
-            if is_error_value(value):
-                errored += 1
-            else:
-                recalculated += 1
-        self._dirty = set()
-        self._eval_memo.clear()
-        return RecalcReport(recalculated, errored)
+        with get_tracer().span(
+            "engine.recalculate", dirty=len(self._dirty)
+        ) as span:
+            # The dirty set is maintained closed under the dependents relation
+            # (see _mark_dirty), so it *is* the recomputation closure; while
+            # the pass runs, reads of not-yet-committed members go through the
+            # memo, never the cell.
+            memo: Dict[CellAddress, object] = {}
+            recalculated = errored = 0
+            for address in sorted(self._dirty):
+                value = self._cell_value(address, frozenset(), 0, memo)
+                cell = self._sheet.get(address)
+                if not cell.has_formula:
+                    continue
+                cell.value = value
+                if is_error_value(value):
+                    errored += 1
+                else:
+                    recalculated += 1
+            self._dirty = set()
+            self._eval_memo.clear()
+            span.set_attribute("recalculated", recalculated)
+            span.set_attribute("errored", errored)
+            return RecalcReport(recalculated, errored)
 
     # -------------------------------------------------------------- evaluation
 

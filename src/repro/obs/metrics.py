@@ -1,0 +1,361 @@
+"""A unified metrics registry: counters, gauges, histograms, one tree.
+
+:class:`MetricsRegistry` is the single place service-layer and
+index-layer stats register into, replacing the hand-aggregated counter
+soup the server's ``/stats`` used to assemble:
+
+* :class:`Counter` — monotonic, mutex-guarded increments (the N-thread
+  hammer test asserts no lost increments);
+* :class:`Gauge` — a settable value *or* a zero-argument callback
+  sampled at read time (queue depths, in-flight requests, index bytes);
+* :class:`Histogram` — wraps
+  :class:`~repro.evaluation.latency.LatencyRecorder` (bounded-memory
+  reservoir mode by default), so the registry's percentiles are the
+  same estimator the offline benchmarks report.
+
+Instruments are keyed by dotted name plus an optional frozen label map
+(``counter("server.batch_size", labels={"size": "4"})``), mirroring the
+Prometheus data model.  :meth:`MetricsRegistry.snapshot` renders one
+JSON-ready tree; :meth:`MetricsRegistry.render_prometheus` emits the
+text exposition format (``GET /metrics``) with histograms exported as
+Prometheus *summaries* (quantiles + ``_count`` + ``_sum``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.latency import LatencyRecorder
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: One instrument key: (dotted name, sorted label items).
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _make_key(name: str, labels: Optional[Mapping[str, str]]) -> _Key:
+    if not _NAME_OK.match(name):
+        raise ValueError(
+            f"metric name {name!r} must be dotted identifiers ([a-zA-Z0-9_.])"
+        )
+    if not labels:
+        return name, ()
+    return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_BAD.sub("_", name)
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """A monotonically increasing count (thread-safe)."""
+
+    __slots__ = ("_mutex", "_value")
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge for ups and downs")
+        with self._mutex:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._mutex:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value: either set directly or sampled via callback."""
+
+    __slots__ = ("_mutex", "_value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], Union[int, float]]] = None) -> None:
+        self._mutex = threading.Lock()
+        self._value: Union[int, float] = 0
+        self._fn = fn
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._mutex:
+            if self._fn is not None:
+                raise RuntimeError("callback gauges cannot be set directly")
+            self._value = value
+
+    def set_callback(self, fn: Optional[Callable[[], Union[int, float]]]) -> None:
+        with self._mutex:
+            self._fn = fn
+
+    @property
+    def value(self) -> Union[int, float]:
+        with self._mutex:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        # Callbacks run outside the gauge mutex: they may take their own
+        # locks (workspace read locks) and must not nest under ours.
+        try:
+            return fn()
+        except Exception:
+            return float("nan")
+
+
+class Histogram:
+    """Percentile-summarized observations over a LatencyRecorder backend.
+
+    Duck-types the recorder's ``record`` / ``summary`` / ``percentile``
+    surface so existing call sites (endpoint latency recording) work
+    unchanged, while the registry controls the memory mode: by default a
+    fixed-size *reservoir* (bounded memory per histogram, percentiles
+    approximate the whole stream) rather than the recorder's sliding
+    window.  An existing recorder can be *adopted* so stats recorded
+    elsewhere (per-workspace serving latency) expose through the
+    registry without double bookkeeping.
+    """
+
+    __slots__ = ("_recorder",)
+
+    def __init__(
+        self,
+        recorder: Optional[LatencyRecorder] = None,
+        reservoir_size: Optional[int] = 1024,
+    ) -> None:
+        if recorder is not None:
+            self._recorder = recorder
+        else:
+            # Imported lazily: the evaluation package imports repro.core,
+            # which is itself traced via repro.obs — a module-level import
+            # here would close that cycle.
+            from repro.evaluation.latency import LatencyRecorder
+
+            self._recorder = LatencyRecorder(
+                window_size=reservoir_size or 8192, reservoir_size=reservoir_size
+            )
+
+    @property
+    def recorder(self) -> LatencyRecorder:
+        return self._recorder
+
+    def observe(self, value: float) -> None:
+        self._recorder.record(max(float(value), 0.0))
+
+    # LatencyRecorder compatibility --------------------------------------
+    def record(self, value: float) -> None:
+        self.observe(value)
+
+    def percentile(self, fraction: float) -> float:
+        return self._recorder.percentile(fraction)
+
+    def summary(self) -> Dict[str, float]:
+        return self._recorder.summary()
+
+    def __len__(self) -> int:
+        return len(self._recorder)
+
+
+class MetricsRegistry:
+    """The process/server-wide instrument tree (see module docstring)."""
+
+    def __init__(self, histogram_reservoir: int = 1024) -> None:
+        self._mutex = threading.Lock()
+        self._histogram_reservoir = histogram_reservoir
+        self._counters: Dict[_Key, Counter] = {}
+        self._gauges: Dict[_Key, Gauge] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+
+    # ------------------------------------------------------------ get-or-make
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = _make_key(name, labels)
+        with self._mutex:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                self._check_free(name, self._counters)
+                instrument = self._counters[key] = Counter()
+            return instrument
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        fn: Optional[Callable[[], Union[int, float]]] = None,
+    ) -> Gauge:
+        """Get or create a gauge; ``fn`` (re)binds a callback either way."""
+        key = _make_key(name, labels)
+        with self._mutex:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                self._check_free(name, self._gauges)
+                instrument = self._gauges[key] = Gauge(fn)
+            elif fn is not None:
+                instrument.set_callback(fn)
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        recorder: Optional[LatencyRecorder] = None,
+        reservoir_size: Optional[int] = None,
+    ) -> Histogram:
+        """Get or create a histogram; ``recorder`` adopts an existing one."""
+        key = _make_key(name, labels)
+        with self._mutex:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                self._check_free(name, self._histograms)
+                instrument = self._histograms[key] = Histogram(
+                    recorder=recorder,
+                    reservoir_size=(
+                        reservoir_size
+                        if reservoir_size is not None
+                        else self._histogram_reservoir
+                    ),
+                )
+            elif recorder is not None and instrument.recorder is not recorder:
+                instrument = self._histograms[key] = Histogram(recorder=recorder)
+            return instrument
+
+    def remove(self, name: str, labels: Optional[Mapping[str, str]] = None) -> None:
+        """Drop an instrument (gauges of deleted workspaces)."""
+        key = _make_key(name, labels)
+        with self._mutex:
+            self._counters.pop(key, None)
+            self._gauges.pop(key, None)
+            self._histograms.pop(key, None)
+
+    def names(self) -> List[str]:
+        with self._mutex:
+            seen = {key[0] for store in (self._counters, self._gauges, self._histograms) for key in store}
+        return sorted(seen)
+
+    def _check_free(self, name: str, target: Dict[_Key, Any]) -> None:
+        """One name = one instrument kind (labels may vary, kinds may not)."""
+        for store in (self._counters, self._gauges, self._histograms):
+            if store is target:
+                continue
+            if any(key[0] == name for key in store):
+                raise ValueError(
+                    f"metric {name!r} is already registered as a different kind"
+                )
+
+    # --------------------------------------------------------------- reading
+
+    def counter_value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> int:
+        """The counter's value, 0 if it was never created."""
+        key = _make_key(name, labels)
+        with self._mutex:
+            instrument = self._counters.get(key)
+        return instrument.value if instrument is not None else 0
+
+    def counter_values(self, name: str) -> Dict[Tuple[Tuple[str, str], ...], int]:
+        """Every label-set of ``name`` with its count (labeled counters)."""
+        with self._mutex:
+            instruments = [
+                (key[1], counter)
+                for key, counter in self._counters.items()
+                if key[0] == name
+            ]
+        return {labels: counter.value for labels, counter in instruments}
+
+    def gauge_values(self, name: str) -> Dict[Tuple[Tuple[str, str], ...], Union[int, float]]:
+        """Every label-set of ``name`` with its sampled value."""
+        with self._mutex:
+            instruments = [
+                (key[1], gauge) for key, gauge in self._gauges.items() if key[0] == name
+            ]
+        return {labels: gauge.value for labels, gauge in instruments}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready tree of every instrument, nested by dotted name.
+
+        Leaves are counter values, gauge samples, or histogram summary
+        dicts; labeled instruments render as ``{label=value,...}`` leaf
+        keys next to their unlabeled sibling.
+        """
+        with self._mutex:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        tree: Dict[str, Any] = {}
+
+        def place(name: str, labels: Tuple[Tuple[str, str], ...], value: Any) -> None:
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                nxt = node.get(part)
+                if not isinstance(nxt, dict):
+                    nxt = node[part] = {}
+                node = nxt
+            leaf = parts[-1]
+            if labels:
+                label_text = ",".join(f"{k}={v}" for k, v in labels)
+                bucket = node.get(leaf)
+                if not isinstance(bucket, dict):
+                    bucket = node[leaf] = {}
+                bucket[label_text] = value
+            else:
+                node[leaf] = value
+
+        for (name, labels), counter in sorted(counters.items()):
+            place(name, labels, counter.value)
+        for (name, labels), gauge in sorted(gauges.items()):
+            place(name, labels, gauge.value)
+        for (name, labels), histogram in sorted(histograms.items()):
+            place(name, labels, histogram.summary())
+        return tree
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of the whole registry."""
+        with self._mutex:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        lines: List[str] = []
+        emitted_types = set()
+
+        def type_line(prom: str, kind: str) -> None:
+            if prom not in emitted_types:
+                emitted_types.add(prom)
+                lines.append(f"# TYPE {prom} {kind}")
+
+        for (name, labels), counter in sorted(counters.items()):
+            prom = _prom_name(name) + "_total"
+            type_line(prom, "counter")
+            lines.append(f"{prom}{_prom_labels(labels)} {counter.value}")
+        for (name, labels), gauge in sorted(gauges.items()):
+            prom = _prom_name(name)
+            type_line(prom, "gauge")
+            value = gauge.value
+            lines.append(f"{prom}{_prom_labels(labels)} {float(value):g}")
+        for (name, labels), histogram in sorted(histograms.items()):
+            prom = _prom_name(name) + "_seconds"
+            type_line(prom, "summary")
+            summary = histogram.summary()
+            for fraction, key in ((0.5, "p50_seconds"), (0.95, "p95_seconds"), (0.99, "p99_seconds")):
+                quantile = _prom_labels(labels, f'quantile="{fraction:g}"')
+                lines.append(f"{prom}{quantile} {summary[key]:g}")
+            lines.append(f"{prom}_count{_prom_labels(labels)} {int(summary['count'])}")
+            lines.append(f"{prom}_sum{_prom_labels(labels)} {summary['total_seconds']:g}")
+        return "\n".join(lines) + "\n"

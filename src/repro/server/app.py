@@ -9,11 +9,20 @@ method      path                                           meaning
 ==========  =========================================      ==============
 GET         ``/health``                                    liveness + drain state
 GET         ``/stats``                                     the full metrics snapshot
+GET         ``/metrics``                                   Prometheus text exposition
+GET         ``/traces``                                    recent + slow trace trees
 POST        ``/v1/workspaces/{ws}/recommend``              one request or a batch
 POST        ``/v1/workspaces/{ws}/edit-cell``              live single-cell edit
 POST        ``/v1/workspaces/{ws}/workbooks``              add (index) workbooks
 DELETE      ``/v1/workspaces/{ws}/workbooks/{name}``       remove a workbook
 ==========  =========================================      ==============
+
+Every dispatched request runs under an ``http.request`` root span of the
+process-global tracer (:mod:`repro.obs`): an incoming ``X-Trace-Id``
+header seeds the trace id (so upstream callers and future process-shard
+workers share one trace), the response always echoes ``X-Trace-Id``
+back, and 4xx/5xx bodies carry ``trace_id`` so client-side failures are
+joinable against the server-side trace.
 
 Serving requests flow admission control → per-workspace micro-batcher →
 ``serve_batch`` on a thread-pool executor (see ``repro.server.batching``);
@@ -36,6 +45,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import get_tracer
 from repro.server.admission import AdmissionConfig, AdmissionController
 from repro.server.batching import BatcherPool
 from repro.server.metrics import (
@@ -106,6 +116,15 @@ class ServerConfig:
     #: Tier-1 scan store dtype override ("float32"/"float16"/"int8");
     #: ``None`` keeps the service's own config.
     storage_dtype: Optional[str] = None
+    #: Enable request tracing (the process-global ``repro.obs`` tracer is
+    #: configured from these knobs at server construction).
+    tracing_enabled: bool = True
+    #: Fraction of traces admitted to the sampled ring (systematic 1-in-N;
+    #: slow traces are always captured regardless).
+    trace_sample_rate: float = 1.0
+    #: Root spans at least this slow land in the always-capture slow log
+    #: (0 disables slow capture).
+    slow_trace_threshold_s: float = 0.25
 
 
 @dataclass(frozen=True)
@@ -127,6 +146,14 @@ class _HttpError(Exception):
         self.detail = detail
 
 
+@dataclass(frozen=True)
+class _RawBody:
+    """A non-JSON response body (the Prometheus text exposition)."""
+
+    text: str
+    content_type: str = "text/plain; charset=utf-8"
+
+
 class FormulaServer:
     """Serves one :class:`FormulaService` over JSON/HTTP (see module doc)."""
 
@@ -139,6 +166,11 @@ class FormulaServer:
                 storage_dtype=self.config.storage_dtype,
             )
         self.metrics = ServerMetrics()
+        self.tracer = get_tracer().configure(
+            enabled=self.config.tracing_enabled,
+            sample_rate=self.config.trace_sample_rate,
+            slow_threshold_s=self.config.slow_trace_threshold_s,
+        )
         self.admission = AdmissionController(self.config.admission)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_workers, thread_name_prefix="repro-serve"
@@ -276,11 +308,16 @@ class FormulaServer:
         headers: Dict[str, str],
         keep_alive: bool,
     ) -> None:
-        payload = json.dumps(body).encode("utf-8")
+        if isinstance(body, _RawBody):
+            payload = body.text.encode("utf-8")
+            content_type = body.content_type
+        else:
+            payload = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         reason = _STATUS_REASONS.get(status, "Unknown")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(payload)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -293,6 +330,32 @@ class FormulaServer:
     async def _dispatch(
         self, request: _HttpRequest
     ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        """Trace wrapper around :meth:`_route`.
+
+        Opens the ``http.request`` root span (seeded from an incoming
+        ``X-Trace-Id``, if any), stamps endpoint/status attributes, echoes
+        the trace id on the response and into 4xx/5xx bodies.
+        """
+        trace_header = request.headers.get("x-trace-id") or None
+        with self.tracer.span(
+            "http.request",
+            trace_id=trace_header,
+            method=request.method,
+            path=request.path,
+        ) as span:
+            status, body, headers = await self._route(request, span)
+            span.set_attribute("status", status)
+            trace = span.trace
+            if trace is not None:
+                headers = dict(headers)
+                headers.setdefault("X-Trace-Id", trace.trace_id)
+                if status >= 400 and isinstance(body, dict):
+                    body.setdefault("trace_id", trace.trace_id)
+            return status, body, headers
+
+    async def _route(
+        self, request: _HttpRequest, span
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         started = time.perf_counter()
         endpoint = "unknown"
         try:
@@ -303,6 +366,19 @@ class FormulaServer:
             if segments == ["stats"] and request.method == "GET":
                 endpoint = "stats"
                 return 200, self._stats_body(), {}
+            if segments == ["metrics"] and request.method == "GET":
+                endpoint = "metrics"
+                return (
+                    200,
+                    _RawBody(
+                        self.metrics.registry.render_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    ),
+                    {},
+                )
+            if segments == ["traces"] and request.method == "GET":
+                endpoint = "traces"
+                return 200, self._traces_body(), {}
             if len(segments) >= 3 and segments[0] == "v1" and segments[1] == "workspaces":
                 workspace_name = segments[2]
                 tail = segments[3:]
@@ -329,6 +405,7 @@ class FormulaServer:
             self.metrics.count(SERVER_ERRORS)
             return 500, encode_error("internal_error", f"{type(exc).__name__}: {exc}"), {}
         finally:
+            span.set_attribute("endpoint", endpoint)
             self.metrics.record_endpoint(endpoint, time.perf_counter() - started)
 
     def _parse_json(self, request: _HttpRequest) -> object:
@@ -455,8 +532,16 @@ class FormulaServer:
             stats = getattr(workspace, "memory_stats", None)
             if stats is not None:
                 self.metrics.register_memory_gauge(name, stats)
+            # Adopt the workspace's serving-latency recorder into the
+            # registry so /metrics exposes it without double recording.
+            recorder = getattr(workspace, "latency", None)
+            if recorder is not None:
+                self.metrics.registry.histogram(
+                    "workspace.latency", labels={"workspace": name}, recorder=recorder
+                )
         self.metrics.prune_memory_gauges(names)
         body = self.metrics.snapshot()
+        body["tracing"] = self.tracer.stats()
         body["sheet_cache"] = {
             "entries": len(self._interner),
             "hits": self._interner.hits,
@@ -478,6 +563,14 @@ class FormulaServer:
             "collapse_duplicate_cells": scoring.collapse_duplicate_cells,
         }
         return body
+
+    def _traces_body(self) -> Dict[str, object]:
+        """Recent (sampled) and slow traces as JSON trees plus config."""
+        return {
+            "recent": self.tracer.recent_traces(),
+            "slow": self.tracer.slow_traces(),
+            "stats": self.tracer.stats(),
+        }
 
 
 # ------------------------------------------------------------------ threaded

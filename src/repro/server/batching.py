@@ -33,17 +33,30 @@ batch size it rode in and its queue wait, so latency attribution
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import dataclasses
 import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.server.metrics import COLLAPSED_DUPLICATES, SERVED, SERVER_ERRORS, ServerMetrics
+from repro.obs import get_tracer
+from repro.obs.tracing import Span
+from repro.server.metrics import (
+    ADMITTED_TO_BATCHER,
+    COLLAPSED_DUPLICATES,
+    COMPLETED_BY_BATCHER,
+    SERVED,
+    SERVER_ERRORS,
+    ServerMetrics,
+)
 from repro.service.types import RecommendationRequest, RecommendationResponse
 
 #: Queue sentinel that tells a collector task to finish and exit.
 _STOP = object()
+
+#: Reusable stand-in when a batch has no traced leader to host a span.
+_NULL_CONTEXT = contextlib.nullcontext()
 
 
 @dataclass(frozen=True)
@@ -57,11 +70,19 @@ class ServedResult:
 
 @dataclass
 class _Pending:
-    """A queued request and the future its connection awaits."""
+    """A queued request and the future its connection awaits.
+
+    ``span`` is the submitting request's active span, captured at submit
+    time: ``run_in_executor`` does not copy the submitting context, so
+    the batch's flush carries the trace context across the thread hop
+    explicitly (the batch *leader*'s trace hosts the flush span; every
+    rider's span is stamped with its batch attribution).
+    """
 
     request: RecommendationRequest
     future: "asyncio.Future[ServedResult]"
     enqueued_at: float = field(default_factory=time.monotonic)
+    span: Optional[Span] = None
 
 
 class WorkspaceBatcher:
@@ -131,7 +152,14 @@ class WorkspaceBatcher:
             raise RuntimeError("batcher is draining")
         future: "asyncio.Future[ServedResult]" = asyncio.get_running_loop().create_future()
         self._outstanding += 1
-        self._queue.put_nowait(_Pending(request=request, future=future))
+        self._metrics.count(ADMITTED_TO_BATCHER)
+        self._queue.put_nowait(
+            _Pending(
+                request=request,
+                future=future,
+                span=get_tracer().current_span(),
+            )
+        )
         return future
 
     # ------------------------------------------------------------ collection
@@ -203,10 +231,31 @@ class WorkspaceBatcher:
         dispatched_at = time.monotonic()
         self._metrics.observe_batch(len(batch))
         for pending in batch:
-            self._metrics.observe_queue_wait(dispatched_at - pending.enqueued_at)
+            queue_seconds = dispatched_at - pending.enqueued_at
+            self._metrics.observe_queue_wait(queue_seconds)
+            if pending.span is not None:
+                pending.span.set_attribute("batch_size", len(batch))
+                pending.span.set_attribute("queue_seconds", queue_seconds)
+
+        # The flush span lives in the batch leader's trace: coalesced
+        # riders each have their own trace, and a span can only nest in
+        # one of them.  Riders carry batch_size/queue_seconds attributes
+        # instead, which is enough to join against the leader's flush.
+        tracer = get_tracer()
+        leader_span = batch[0].span
+
+        def _serve_in_leader_context() -> List[RecommendationResponse]:
+            with tracer.attach(leader_span):
+                with tracer.span(
+                    "batch.flush",
+                    batch_size=len(batch),
+                    unique_requests=len(requests),
+                ) if leader_span is not None else _NULL_CONTEXT:
+                    return self.workspace.serve_batch(requests)
+
         try:
             responses = await loop.run_in_executor(
-                self._executor, self.workspace.serve_batch, requests
+                self._executor, _serve_in_leader_context
             )
         except Exception as exc:
             self._metrics.count(SERVER_ERRORS, len(batch))
@@ -216,6 +265,7 @@ class WorkspaceBatcher:
             return
         finally:
             self._outstanding -= len(batch)
+            self._metrics.count(COMPLETED_BY_BATCHER, len(batch))
         self._metrics.count(SERVED, len(batch))
         for pending, slot in zip(batch, slots):
             if pending.future.cancelled():

@@ -39,6 +39,7 @@ class ServerError(RuntimeError):
         self.status = status
         self.body = body
         self.retry_after = retry_after
+        self.trace_id: Optional[str] = body.get("trace_id")  # type: ignore[assignment]
 
 
 class FormulaClient:
@@ -71,11 +72,17 @@ class FormulaClient:
         self.close()
 
     def request(
-        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
         """One round trip; returns (status, headers, decoded JSON body)."""
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
+        if trace_id is not None:
+            headers["X-Trace-Id"] = trace_id
         connection = self._connect()
         try:
             connection.request(method, path, body=payload, headers=headers)
@@ -92,8 +99,14 @@ class FormulaClient:
         decoded = json.loads(raw.decode("utf-8")) if raw else {}
         return response.status, dict(response.getheaders()), decoded
 
-    def _checked(self, method: str, path: str, body: Optional[Dict[str, object]] = None):
-        status, headers, decoded = self.request(method, path, body)
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        trace_id: Optional[str] = None,
+    ):
+        status, headers, decoded = self.request(method, path, body, trace_id=trace_id)
         if status != 200:
             retry_after = headers.get("Retry-After")
             raise ServerError(status, decoded, float(retry_after) if retry_after else None)
@@ -107,17 +120,41 @@ class FormulaClient:
     def stats(self) -> Dict[str, object]:
         return self._checked("GET", "/stats")
 
+    def traces(self) -> Dict[str, object]:
+        """Recent + slow trace trees and tracer stats (``GET /traces``)."""
+        return self._checked("GET", "/traces")
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body (``GET /metrics``), as text."""
+        connection = self._connect()
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self.close()
+            connection = self._connect()
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+        if response.status != 200:
+            raise ServerError(response.status, {"error": raw.decode("utf-8", "replace")})
+        return raw.decode("utf-8")
+
     def recommend(
         self,
         workspace: str,
         sheet: SheetLike,
         cell: str,
         request_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, object]:
         body: Dict[str, object] = {"sheet": _sheet_payload(sheet), "cell": cell}
         if request_id is not None:
             body["request_id"] = request_id
-        return self._checked("POST", f"/v1/workspaces/{workspace}/recommend", body)
+        return self._checked(
+            "POST", f"/v1/workspaces/{workspace}/recommend", body, trace_id=trace_id
+        )
 
     def recommend_batch(
         self, workspace: str, items: Sequence[Tuple[SheetLike, str]]
@@ -194,6 +231,7 @@ class AsyncFormulaClient:
         path: str,
         body: Optional[Dict[str, object]] = None,
         body_bytes: Optional[bytes] = None,
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
         """One round trip.  ``body_bytes`` sends pre-encoded JSON verbatim —
         callers issuing many requests over the same payload (the swarm
@@ -204,11 +242,13 @@ class AsyncFormulaClient:
             payload = body_bytes
         else:
             payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        trace_header = f"X-Trace-Id: {trace_id}\r\n" if trace_id is not None else ""
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{trace_header}"
             "Connection: keep-alive\r\n\r\n"
         )
         self._writer.write(head.encode("latin-1") + payload)

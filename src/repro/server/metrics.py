@@ -1,34 +1,42 @@
 """Server observability: admission counters, batch shape, queue depth.
 
-One :class:`ServerMetrics` instance per server aggregates everything the
-``/stats`` endpoint reports:
+One :class:`ServerMetrics` instance per server fronts everything the
+``/stats`` endpoint reports, but since PR 10 it is a thin facade over a
+:class:`repro.obs.MetricsRegistry` — every counter, gauge and histogram
+lives in the registry's dotted-name tree, so the same instruments feed
+``/stats`` (via :meth:`snapshot`), the Prometheus ``/metrics``
+exposition (via ``registry.render_prometheus()``) and ad-hoc debugging
+through ``registry.snapshot()``:
 
-* admission counters — accepted / rejected (by reason) / shed-on-drain /
-  served / errored requests;
-* the micro-batcher's batch-size histogram and the derived *coalescing
-  ratio* (requests served per ``serve_batch`` dispatch — 1.0 means no
-  coalescing happened, N means N requests amortized one dispatch);
-* queue-depth gauges, registered per workspace batcher and sampled at
-  snapshot time, so ``/stats`` shows live backlog;
-* per-endpoint wall-clock latency, recorded on
-  :class:`~repro.evaluation.latency.LatencyRecorder` instances whose
-  :meth:`~repro.evaluation.latency.LatencyRecorder.summary` (count /
-  window_count / p50 / p95 / p99 / max, the percentiles window-scoped
-  and ``window_count`` saying over how many samples) is reused verbatim
-  — the serving front-end and
-  the offline benchmarks report latency through one code path.
+* admission counters (``server.<key>``) — accepted / rejected (by
+  reason) / shed-on-drain / served / errored requests;
+* the micro-batcher's batch-size distribution (labeled counter
+  ``server.batch_size{size=N}``) and the derived *coalescing ratio*
+  (requests served per ``serve_batch`` dispatch);
+* an **in-flight gauge** (``server.inflight``): requests admitted to a
+  batcher minus requests completed.  The old per-batcher "queue depth"
+  read ``qsize()`` which was always ~0 because the collector pops
+  immediately; admitted-minus-completed counts work that has been
+  accepted but whose future has not resolved, which is the number an
+  operator actually wants under a stalled flush;
+* per-endpoint wall-clock latency as registry histograms
+  (``server.endpoint{endpoint=...}``) backed by bounded-memory
+  reservoir :class:`~repro.evaluation.latency.LatencyRecorder`
+  instances — the serving front-end and the offline benchmarks report
+  latency through one code path.
 
 Counters are touched from the event loop *and* from executor threads
-(batch completion), so all mutation goes through one mutex.
+(batch completion); the registry's instruments are individually
+mutex-guarded so no shared big lock is needed.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import Counter
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.evaluation.latency import LatencyRecorder
+from repro.obs import Histogram, MetricsRegistry
 
 #: Counter keys with defined meanings (others may be counted ad hoc).
 ACCEPTED = "accepted"
@@ -41,56 +49,79 @@ BATCHES = "batches"
 BATCHED_REQUESTS = "batched_requests"
 COLLAPSED_DUPLICATES = "collapsed_duplicates"
 
+#: In-flight accounting (satellite: the true queue-depth fix).
+ADMITTED_TO_BATCHER = "batch_admitted"
+COMPLETED_BY_BATCHER = "batch_completed"
+
 
 class ServerMetrics:
     """Thread-safe aggregate of the serving front-end's vital signs."""
 
-    def __init__(self, latency_window: int = 8192) -> None:
+    def __init__(
+        self,
+        latency_window: int = 8192,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._mutex = threading.Lock()
-        self._counters: Counter = Counter()
-        self._batch_sizes: Counter = Counter()
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._latency_window = latency_window
-        self._endpoints: Dict[str, LatencyRecorder] = {}
-        self._queue_wait = LatencyRecorder(window_size=latency_window)
-        self._queue_gauges: Dict[str, Callable[[], int]] = {}
+        # Key sets drive snapshot() shape; values always come from the
+        # registry so there is exactly one copy of every number.
+        self._counter_keys = set()
+        self._queue_gauge_names = set()
         self._memory_gauges: Dict[str, Callable[[], Dict[str, object]]] = {}
+        self._queue_wait = self.registry.histogram(
+            "server.queue_wait", reservoir_size=latency_window
+        )
+        self.registry.gauge(
+            "server.inflight",
+            fn=lambda: self.counter(ADMITTED_TO_BATCHER)
+            - self.counter(COMPLETED_BY_BATCHER),
+        )
 
     # ------------------------------------------------------------- recording
 
     def count(self, key: str, n: int = 1) -> None:
         with self._mutex:
-            self._counters[key] += n
+            self._counter_keys.add(key)
+        self.registry.counter(f"server.{key}").inc(n)
 
     def counter(self, key: str) -> int:
-        with self._mutex:
-            return self._counters[key]
+        return self.registry.counter_value(f"server.{key}")
 
     def observe_batch(self, size: int) -> None:
         """One ``serve_batch`` dispatch that carried ``size`` requests."""
-        with self._mutex:
-            self._counters[BATCHES] += 1
-            self._counters[BATCHED_REQUESTS] += size
-            self._batch_sizes[size] += 1
+        self.count(BATCHES)
+        self.count(BATCHED_REQUESTS, size)
+        self.registry.counter("server.batch_size", labels={"size": str(size)}).inc()
 
     def observe_queue_wait(self, seconds: float) -> None:
-        self._queue_wait.record(max(seconds, 0.0))
+        self._queue_wait.observe(max(seconds, 0.0))
 
-    def endpoint_recorder(self, endpoint: str) -> LatencyRecorder:
-        """The (lazily created) latency recorder for one endpoint label."""
-        with self._mutex:
-            recorder = self._endpoints.get(endpoint)
-            if recorder is None:
-                recorder = LatencyRecorder(window_size=self._latency_window)
-                self._endpoints[endpoint] = recorder
-            return recorder
+    def endpoint_recorder(self, endpoint: str) -> Histogram:
+        """The (lazily created) latency histogram for one endpoint label."""
+        return self.registry.histogram(
+            "server.endpoint",
+            labels={"endpoint": endpoint},
+            reservoir_size=self._latency_window,
+        )
 
     def record_endpoint(self, endpoint: str, seconds: float) -> None:
-        self.endpoint_recorder(endpoint).record(max(seconds, 0.0))
+        self.endpoint_recorder(endpoint).observe(max(seconds, 0.0))
 
     def register_queue_gauge(self, name: str, depth: Callable[[], int]) -> None:
-        """Register a live queue-depth callback (one per workspace batcher)."""
+        """Register a live in-flight-depth callback (one per workspace batcher).
+
+        The callback should report *admitted minus completed* (see
+        :meth:`repro.server.batching.WorkspaceBatcher.queue_depth`), not a
+        raw queue ``qsize`` — the collector pops eagerly so ``qsize`` is
+        ~0 even while dozens of requests sit in a stalled flush.
+        """
         with self._mutex:
-            self._queue_gauges[name] = depth
+            self._queue_gauge_names.add(name)
+        self.registry.gauge(
+            "server.queue_depth", labels={"workspace": name}, fn=depth
+        )
 
     def register_memory_gauge(
         self, name: str, stats: Callable[[], Dict[str, object]]
@@ -101,45 +132,83 @@ class ServerMetrics:
         :meth:`repro.service.workspace.Workspace.memory_stats` — bytes by
         array/dtype, tombstone overhead, quantization savings) and is
         sampled at snapshot time so ``/stats`` reports the live footprint.
+        A scalar ``workspace.index_bytes{workspace=...}`` gauge mirrors
+        the ``total_bytes`` field into the registry for Prometheus.
         Re-registering a name replaces the callback.
         """
         with self._mutex:
             self._memory_gauges[name] = stats
 
+        def total_bytes() -> int:
+            return int(stats().get("total_bytes", 0))  # type: ignore[call-overload]
+
+        self.registry.gauge(
+            "workspace.index_bytes", labels={"workspace": name}, fn=total_bytes
+        )
+
     def prune_memory_gauges(self, keep: Sequence[str]) -> None:
         """Drop memory gauges for workspaces that no longer exist."""
         keep_set = set(keep)
         with self._mutex:
-            for name in [name for name in self._memory_gauges if name not in keep_set]:
+            stale = [name for name in self._memory_gauges if name not in keep_set]
+            for name in stale:
                 del self._memory_gauges[name]
+        for name in stale:
+            self.registry.remove("workspace.index_bytes", labels={"workspace": name})
 
     # ------------------------------------------------------------- reporting
 
     @property
     def coalescing_ratio(self) -> float:
         """Mean requests per dispatched batch (0.0 before the first batch)."""
-        with self._mutex:
-            batches = self._counters[BATCHES]
-            if not batches:
-                return 0.0
-            return self._counters[BATCHED_REQUESTS] / batches
+        batches = self.counter(BATCHES)
+        if not batches:
+            return 0.0
+        return self.counter(BATCHED_REQUESTS) / batches
+
+    def inflight(self) -> int:
+        """Requests admitted to batchers whose futures have not resolved."""
+        return self.counter(ADMITTED_TO_BATCHER) - self.counter(COMPLETED_BY_BATCHER)
 
     def snapshot(self) -> Dict[str, object]:
         """One JSON-ready view of every metric (the ``/stats`` body)."""
         with self._mutex:
-            counters = dict(self._counters)
-            batch_sizes = {str(size): count for size, count in sorted(self._batch_sizes.items())}
-            gauges = dict(self._queue_gauges)
+            counter_keys = sorted(self._counter_keys)
+            gauge_names = sorted(self._queue_gauge_names)
             memory_gauges = dict(self._memory_gauges)
-            endpoints = dict(self._endpoints)
+        counters = {key: self.counter(key) for key in counter_keys}
+        batch_sizes = {
+            labels[0][1]: count
+            for labels, count in self.registry.counter_values("server.batch_size").items()
+        }
+        batch_sizes = {
+            size: batch_sizes[size] for size in sorted(batch_sizes, key=int)
+        }
+        depths = {
+            labels[0][1]: int(value)
+            for labels, value in self.registry.gauge_values("server.queue_depth").items()
+        }
         batches = counters.get(BATCHES, 0)
         coalescing = counters.get(BATCHED_REQUESTS, 0) / batches if batches else 0.0
         return {
             "counters": counters,
             "batch_size_histogram": batch_sizes,
             "coalescing_ratio": coalescing,
-            "queue_depths": {name: int(depth()) for name, depth in gauges.items()},
+            "queue_depths": {name: depths.get(name, 0) for name in gauge_names},
+            "in_flight": self.inflight(),
             "queue_wait": self._queue_wait.summary(),
             "index_memory": {name: stats() for name, stats in memory_gauges.items()},
-            "endpoints": {name: recorder.summary() for name, recorder in endpoints.items()},
+            "endpoints": self._endpoint_summaries(),
         }
+
+    def _endpoint_summaries(self) -> Dict[str, Dict[str, float]]:
+        snapshot = self.registry.snapshot()
+        server_tree = snapshot.get("server", {})
+        endpoint_tree = server_tree.get("endpoint", {}) if isinstance(server_tree, dict) else {}
+        summaries: Dict[str, Dict[str, float]] = {}
+        if isinstance(endpoint_tree, dict):
+            for label_text, summary in endpoint_tree.items():
+                # label_text looks like "endpoint=recommend".
+                name = label_text.split("=", 1)[1] if "=" in label_text else label_text
+                summaries[name] = summary
+        return summaries

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.formula.engine import RecalcReport
+from repro.obs import current_trace_id, get_tracer
 from repro.service.types import RecommendationRequest, RecommendationResponse
 from repro.sheet.addressing import parse_cell_address
 from repro.sheet.io import sheet_from_dict, workbook_from_dict
@@ -34,7 +35,19 @@ from repro.sheet.workbook import Workbook
 
 
 class SchemaError(ValueError):
-    """A wire payload that does not satisfy the protocol schema (HTTP 400)."""
+    """A wire payload that does not satisfy the protocol schema (HTTP 400).
+
+    When raised inside a traced request, the active ``trace_id`` is
+    stamped onto the exception (``.trace_id``) and appended to the
+    message, so a client-side schema failure is joinable against the
+    server-side trace that produced it.
+    """
+
+    def __init__(self, message: str) -> None:
+        self.trace_id = current_trace_id()
+        if self.trace_id is not None:
+            message = f"{message} [trace_id={self.trace_id}]"
+        super().__init__(message)
 
 
 def _require(data: Dict[str, object], key: str, kind, what: str):
@@ -135,14 +148,20 @@ def decode_recommend_payload(
     whether the caller used the single-object shape (the response mirrors
     the request shape).
     """
-    if not isinstance(data, dict):
-        raise SchemaError("recommend body must be a JSON object")
-    if "requests" in data:
-        raw_requests = _require(data, "requests", list, "recommend body")
-        if not raw_requests:
-            raise SchemaError("recommend body: 'requests' must not be empty")
-        return [_decode_one_request(item, interner) for item in raw_requests], False
-    return [_decode_one_request(data, interner)], True
+    with get_tracer().span("wire.decode") as span:
+        if not isinstance(data, dict):
+            raise SchemaError("recommend body must be a JSON object")
+        hits_before = interner.hits
+        if "requests" in data:
+            raw_requests = _require(data, "requests", list, "recommend body")
+            if not raw_requests:
+                raise SchemaError("recommend body: 'requests' must not be empty")
+            decoded = [_decode_one_request(item, interner) for item in raw_requests], False
+        else:
+            decoded = [_decode_one_request(data, interner)], True
+        span.set_attribute("n_requests", len(decoded[0]))
+        span.set_attribute("interner_hits", interner.hits - hits_before)
+        return decoded
 
 
 def _decode_one_request(
@@ -258,11 +277,23 @@ def decode_workbooks_payload(data: object) -> List[Workbook]:
     return workbooks
 
 
-def encode_error(reason: str, detail: str = "", retry_after: Optional[float] = None) -> Dict[str, object]:
-    """The uniform error body (``error`` is a machine-readable slug)."""
+def encode_error(
+    reason: str,
+    detail: str = "",
+    retry_after: Optional[float] = None,
+    trace_id: Optional[str] = None,
+) -> Dict[str, object]:
+    """The uniform error body (``error`` is a machine-readable slug).
+
+    ``trace_id`` (when a trace is active) lets a client join its failure
+    against the server-side trace; the dispatcher also stamps it onto
+    any error body it builds from an exception.
+    """
     body: Dict[str, object] = {"error": reason}
     if detail:
         body["detail"] = detail
     if retry_after is not None:
         body["retry_after_seconds"] = retry_after
+    if trace_id is not None:
+        body["trace_id"] = trace_id
     return body

@@ -52,6 +52,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 from repro.core.interface import FormulaPredictor, Prediction
 from repro.evaluation.latency import LatencyRecorder
+from repro.obs import get_tracer
 from repro.formula.engine import FormulaEngine, RecalcReport
 from repro.persistence.log import (
     MutationLog,
@@ -351,7 +352,12 @@ class ShardedWorkspace:
         """
         require_one_edit_operand(value, formula)
         self._ensure_log_replayed()
-        with self._rwlock.write_lock():
+        with get_tracer().span(
+            "workspace.edit_cell",
+            workspace=self.name,
+            workbook=workbook_name,
+            sheet=sheet_name,
+        ), self._rwlock.write_lock():
             if workbook_name not in self._workbooks:
                 raise KeyError(workbook_name)
             workbook = self._workbooks[workbook_name]
@@ -405,7 +411,12 @@ class ShardedWorkspace:
         """
         self._ensure_log_replayed()
         directory = Path(directory)
-        with self._rwlock.write_lock():
+        with get_tracer().span(
+            "snapshot.save",
+            workspace=self.name,
+            directory=str(directory),
+            n_shards=self.n_shards,
+        ), self._rwlock.write_lock():
             shard_states: List[Dict[str, object]] = []
             arrays: Dict[str, object] = {}
             for shard, predictor in enumerate(self._predictors):
@@ -464,58 +475,62 @@ class ShardedWorkspace:
         replay exactly like :meth:`Workspace.load`.
         """
         directory = Path(directory)
-        manifest = read_manifest(directory)
-        if manifest.get("kind") != "sharded_workspace":
-            raise SnapshotFormatError(
-                f"snapshot at {directory} holds a {manifest.get('kind')!r}, "
-                "not a sharded workspace"
-            )
-        n_shards = int(manifest.get("n_shards", 0))
-        shard_states = manifest.get("shards", [])
-        global_seq = manifest.get("global_seq", [])
-        if len(shard_states) != n_shards or len(global_seq) != n_shards:
-            raise SnapshotFormatError(
-                f"snapshot at {directory} declares {n_shards} shards but stores "
-                f"{len(shard_states)} shard states / {len(global_seq)} sequence maps"
-            )
-        workspace = cls(
-            str(name or manifest.get("name") or "restored"), predictor_factory, n_shards
-        )
-        workbooks = load_corpus(directory, manifest.get("workbooks", []))
-        resolve = sheet_resolver(workbooks)
-        arrays = load_arrays(directory, manifest.get("arrays", []), mmap=mmap)
-        for shard, state in enumerate(shard_states):
-            restore = getattr(workspace._predictors[shard], "restore_snapshot_state", None)
-            if restore is None:
-                raise TypeError(
-                    "predictor_factory must build snapshot-capable predictors "
-                    "(AutoFormula) to load a sharded snapshot"
+        with get_tracer().span(
+            "snapshot.load", directory=str(directory), mmap=mmap
+        ) as span:
+            manifest = read_manifest(directory)
+            if manifest.get("kind") != "sharded_workspace":
+                raise SnapshotFormatError(
+                    f"snapshot at {directory} holds a {manifest.get('kind')!r}, "
+                    "not a sharded workspace"
                 )
-            prefix = f"shard{shard}_"
-            restore(
-                state,
-                {
-                    key[len(prefix):]: block
-                    for key, block in arrays.items()
-                    if key.startswith(prefix)
-                },
-                resolve,
+            n_shards = int(manifest.get("n_shards", 0))
+            span.set_attribute("n_shards", n_shards)
+            shard_states = manifest.get("shards", [])
+            global_seq = manifest.get("global_seq", [])
+            if len(shard_states) != n_shards or len(global_seq) != n_shards:
+                raise SnapshotFormatError(
+                    f"snapshot at {directory} declares {n_shards} shards but stores "
+                    f"{len(shard_states)} shard states / {len(global_seq)} sequence maps"
+                )
+            workspace = cls(
+                str(name or manifest.get("name") or "restored"), predictor_factory, n_shards
             )
-        for workbook in workbooks:
-            workspace._workbooks[workbook.name] = workbook
-        workspace._placements = {
-            workbook_name: [(int(shard), int(stable_id)) for shard, stable_id in entries]
-            for workbook_name, entries in manifest.get("placements", {}).items()
-        }
-        workspace._global_seq = [
-            {int(stable_id): int(sequence) for stable_id, sequence in seqs.items()}
-            for seqs in global_seq
-        ]
-        workspace._next_seq = int(manifest.get("next_seq", 0))
-        log = MutationLog(mutation_log_path(directory))
-        workspace._mutation_log = log
-        workspace._pending_ops = log.read()
-        return workspace
+            workbooks = load_corpus(directory, manifest.get("workbooks", []))
+            resolve = sheet_resolver(workbooks)
+            arrays = load_arrays(directory, manifest.get("arrays", []), mmap=mmap)
+            for shard, state in enumerate(shard_states):
+                restore = getattr(workspace._predictors[shard], "restore_snapshot_state", None)
+                if restore is None:
+                    raise TypeError(
+                        "predictor_factory must build snapshot-capable predictors "
+                        "(AutoFormula) to load a sharded snapshot"
+                    )
+                prefix = f"shard{shard}_"
+                restore(
+                    state,
+                    {
+                        key[len(prefix):]: block
+                        for key, block in arrays.items()
+                        if key.startswith(prefix)
+                    },
+                    resolve,
+                )
+            for workbook in workbooks:
+                workspace._workbooks[workbook.name] = workbook
+            workspace._placements = {
+                workbook_name: [(int(shard), int(stable_id)) for shard, stable_id in entries]
+                for workbook_name, entries in manifest.get("placements", {}).items()
+            }
+            workspace._global_seq = [
+                {int(stable_id): int(sequence) for stable_id, sequence in seqs.items()}
+                for seqs in global_seq
+            ]
+            workspace._next_seq = int(manifest.get("next_seq", 0))
+            log = MutationLog(mutation_log_path(directory))
+            workspace._mutation_log = log
+            workspace._pending_ops = log.read()
+            return workspace
 
     @staticmethod
     def load_shard(
@@ -586,66 +601,77 @@ class ShardedWorkspace:
         requests = list(requests)
         if not requests:
             return []
-        self._ensure_log_replayed()
-        with self._rwlock.read_lock():
-            if not self._workbooks:
-                return [
-                    self._abstain(request, AbstainReason.EMPTY_CORPUS)
-                    for request in requests
-                ]
-            groups: Dict[int, List[int]] = {}
-            for position, request in enumerate(requests):
-                groups.setdefault(id(request.sheet), []).append(position)
+        with get_tracer().span(
+            "sharded.serve",
+            workspace=self.name,
+            n_requests=len(requests),
+            n_shards=self.n_shards,
+        ):
+            self._ensure_log_replayed()
+            with self._rwlock.read_lock():
+                return self._serve_batch_locked(requests)
 
-            # Duplicate-cell collapsing mirrors Workspace.serve_batch:
-            # deterministic per-(sheet, cell) predictions are computed once
-            # and fanned out — bit-identical to computing each copy.
-            collapse = bool(
-                getattr(
-                    getattr(self._predictors[0], "config", None),
-                    "collapse_duplicate_cells",
-                    False,
-                )
+    def _serve_batch_locked(
+        self, requests: List[RecommendationRequest]
+    ) -> List[RecommendationResponse]:
+        if not self._workbooks:
+            return [
+                self._abstain(request, AbstainReason.EMPTY_CORPUS)
+                for request in requests
+            ]
+        groups: Dict[int, List[int]] = {}
+        for position, request in enumerate(requests):
+            groups.setdefault(id(request.sheet), []).append(position)
+
+        # Duplicate-cell collapsing mirrors Workspace.serve_batch:
+        # deterministic per-(sheet, cell) predictions are computed once
+        # and fanned out — bit-identical to computing each copy.
+        collapse = bool(
+            getattr(
+                getattr(self._predictors[0], "config", None),
+                "collapse_duplicate_cells",
+                False,
             )
-            responses: List[Optional[RecommendationResponse]] = [None] * len(requests)
-            for positions in groups.values():
-                sheet = requests[positions[0]].sheet
-                cells = [requests[position].cell for position in positions]
-                slots = list(range(len(positions)))
-                if collapse:
-                    unique_cells: List = []
-                    slot_of: Dict[object, int] = {}
-                    for index, cell in enumerate(cells):
-                        slot = slot_of.get(cell)
-                        if slot is None:
-                            slot = len(unique_cells)
-                            slot_of[cell] = slot
-                            unique_cells.append(cell)
-                        slots[index] = slot
-                    cells = unique_cells
-                start = time.perf_counter()
-                predictions = self._predict_group(sheet, cells)
-                per_request = (time.perf_counter() - start) / len(positions)
-                for position, prediction in zip(
-                    positions, (predictions[slot] for slot in slots)
-                ):
-                    self.latency.record(per_request)
-                    request = requests[position]
-                    if prediction is None:
-                        responses[position] = self._abstain(
-                            request, AbstainReason.NO_CONFIDENT_MATCH, per_request
-                        )
-                    else:
-                        responses[position] = RecommendationResponse(
-                            request=request,
-                            workspace=self.name,
-                            method=self._predictors[0].name,
-                            formula=prediction.formula,
-                            confidence=prediction.confidence,
-                            provenance=dict(prediction.details),
-                            latency_seconds=per_request,
-                        )
-            return responses  # type: ignore[return-value]
+        )
+        responses: List[Optional[RecommendationResponse]] = [None] * len(requests)
+        for positions in groups.values():
+            sheet = requests[positions[0]].sheet
+            cells = [requests[position].cell for position in positions]
+            slots = list(range(len(positions)))
+            if collapse:
+                unique_cells: List = []
+                slot_of: Dict[object, int] = {}
+                for index, cell in enumerate(cells):
+                    slot = slot_of.get(cell)
+                    if slot is None:
+                        slot = len(unique_cells)
+                        slot_of[cell] = slot
+                        unique_cells.append(cell)
+                    slots[index] = slot
+                cells = unique_cells
+            start = time.perf_counter()
+            predictions = self._predict_group(sheet, cells)
+            per_request = (time.perf_counter() - start) / len(positions)
+            for position, prediction in zip(
+                positions, (predictions[slot] for slot in slots)
+            ):
+                self.latency.record(per_request)
+                request = requests[position]
+                if prediction is None:
+                    responses[position] = self._abstain(
+                        request, AbstainReason.NO_CONFIDENT_MATCH, per_request
+                    )
+                else:
+                    responses[position] = RecommendationResponse(
+                        request=request,
+                        workspace=self.name,
+                        method=self._predictors[0].name,
+                        formula=prediction.formula,
+                        confidence=prediction.confidence,
+                        provenance=dict(prediction.details),
+                        latency_seconds=per_request,
+                    )
+        return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------ merge engine
 
@@ -670,30 +696,33 @@ class ShardedWorkspace:
         # Phase 1 — S1 on every populated shard, merged by
         # (distance, global corpus order): the exact tie-break a single
         # index's stable argsort would apply.
-        hit_lists = self._fan_out(
-            populated,
-            lambda shard: self._with_shard(
-                shard,
-                lambda predictor: predictor.sheet_hits(sheet, query_vector=query_vector),
-            ),
-        )
-        candidates: List[Tuple[float, int, int, int]] = []
-        for shard, hits in zip(populated, hit_lists):
-            sequences = self._global_seq[shard]
-            for hit in hits:
-                stable_id = int(hit.key)
-                sequence = sequences.get(stable_id)
-                if sequence is None:
-                    # A sheet the coordinator never registered — possible
-                    # only after a failed mutation whose best-effort
-                    # rollback could not fully undo a shard.  Never serve
-                    # from it.
-                    continue
-                candidates.append((hit.distance, sequence, shard, stable_id))
-        if not candidates:
-            return [None] * len(cells)
-        candidates.sort(key=lambda candidate: (candidate[0], candidate[1]))
-        selected = candidates[: self._top_k_sheets()]
+        with get_tracer().span("shard.s1", n_shards=len(populated)) as s1_span:
+            hit_lists = self._fan_out(
+                populated,
+                lambda shard: self._with_shard(
+                    shard,
+                    lambda predictor: predictor.sheet_hits(sheet, query_vector=query_vector),
+                ),
+                span_name="s1.shard",
+            )
+            candidates: List[Tuple[float, int, int, int]] = []
+            for shard, hits in zip(populated, hit_lists):
+                sequences = self._global_seq[shard]
+                for hit in hits:
+                    stable_id = int(hit.key)
+                    sequence = sequences.get(stable_id)
+                    if sequence is None:
+                        # A sheet the coordinator never registered — possible
+                        # only after a failed mutation whose best-effort
+                        # rollback could not fully undo a shard.  Never serve
+                        # from it.
+                        continue
+                    candidates.append((hit.distance, sequence, shard, stable_id))
+            s1_span.set_attribute("n_candidates", len(candidates))
+            if not candidates:
+                return [None] * len(cells)
+            candidates.sort(key=lambda candidate: (candidate[0], candidate[1]))
+            selected = candidates[: self._top_k_sheets()]
 
         # Phase 2 — each owning shard *scores* the cells against its slice
         # of the merged candidate list (passed in global-rank order so the
@@ -706,37 +735,41 @@ class ShardedWorkspace:
             shard_sheet_ids.setdefault(shard, []).append(stable_id)
             shard_ranks.setdefault(shard, []).append(rank)
         involved = sorted(shard_sheet_ids)
-        target_vectors = self._with_shard(
-            involved[0],
-            lambda predictor: predictor.region_query_vectors(sheet, cells),
-        )
-        scored_lists = self._fan_out(
-            involved,
-            lambda shard: self._with_shard(
-                shard,
-                lambda predictor: predictor.predict_batch_scored(
-                    sheet,
-                    cells,
-                    shard_sheet_ids[shard],
-                    target_vectors=target_vectors,
-                    adapt=False,
+        with get_tracer().span(
+            "shard.s2", n_shards=len(involved), n_cells=len(cells)
+        ):
+            target_vectors = self._with_shard(
+                involved[0],
+                lambda predictor: predictor.region_query_vectors(sheet, cells),
+            )
+            scored_lists = self._fan_out(
+                involved,
+                lambda shard: self._with_shard(
+                    shard,
+                    lambda predictor: predictor.predict_batch_scored(
+                        sheet,
+                        cells,
+                        shard_sheet_ids[shard],
+                        target_vectors=target_vectors,
+                        adapt=False,
+                    ),
                 ),
-            ),
-        )
+                span_name="s2.shard",
+            )
 
-        # Merge: global best hit per cell by (distance, rank, formula).
-        best: List[Optional[Tuple[Tuple[float, int, int], int, int]]] = [None] * len(
-            cells
-        )
-        for shard, scored in zip(involved, scored_lists):
-            ranks = shard_ranks[shard]
-            ids = shard_sheet_ids[shard]
-            for cell_index, item in enumerate(scored):
-                if item is None:
-                    continue
-                key = (item.distance, ranks[item.sheet_rank], item.formula_index)
-                if best[cell_index] is None or key < best[cell_index][0]:
-                    best[cell_index] = (key, shard, ids[item.sheet_rank])
+            # Merge: global best hit per cell by (distance, rank, formula).
+            best: List[Optional[Tuple[Tuple[float, int, int], int, int]]] = [None] * len(
+                cells
+            )
+            for shard, scored in zip(involved, scored_lists):
+                ranks = shard_ranks[shard]
+                ids = shard_sheet_ids[shard]
+                for cell_index, item in enumerate(scored):
+                    if item is None:
+                        continue
+                    key = (item.distance, ranks[item.sheet_rank], item.formula_index)
+                    if best[cell_index] is None or key < best[cell_index][0]:
+                        best[cell_index] = (key, shard, ids[item.sheet_rank])
 
         # Phase 3 — S3 re-grounding, once per cell, on the winning shard
         # only.  Over-threshold winners abstain without paying for S3,
@@ -756,15 +789,21 @@ class ShardedWorkspace:
         predictions: List[Optional[Prediction]] = [None] * len(cells)
         if adapt_items:
             adapt_shards = sorted(adapt_items)
-            adapted_lists = self._fan_out(
-                adapt_shards,
-                lambda shard: self._with_shard(
-                    shard,
-                    lambda predictor: predictor.adapt_batch(
-                        sheet, [item for __, item in adapt_items[shard]]
+            with get_tracer().span(
+                "shard.s3",
+                n_shards=len(adapt_shards),
+                n_items=sum(len(items) for items in adapt_items.values()),
+            ):
+                adapted_lists = self._fan_out(
+                    adapt_shards,
+                    lambda shard: self._with_shard(
+                        shard,
+                        lambda predictor: predictor.adapt_batch(
+                            sheet, [item for __, item in adapt_items[shard]]
+                        ),
                     ),
-                ),
-            )
+                    span_name="s3.shard",
+                )
             for shard, adapted in zip(adapt_shards, adapted_lists):
                 for (cell_index, __), prediction in zip(adapt_items[shard], adapted):
                     predictions[cell_index] = prediction
@@ -821,29 +860,54 @@ class ShardedWorkspace:
                 )
             return self._executor
 
-    def _fan_out(self, shards: Sequence[int], call: Callable[[int], object]) -> List:
+    def _fan_out(
+        self,
+        shards: Sequence[int],
+        call: Callable[[int], object],
+        span_name: Optional[str] = None,
+    ) -> List:
         """Run ``call(shard)`` on every shard in parallel; first error wins."""
         results = []
-        for result, error in self._fan_out_collect(shards, call):
+        for result, error in self._fan_out_collect(shards, call, span_name=span_name):
             if error is not None:
                 raise error
             results.append(result)
         return results
 
     def _fan_out_collect(
-        self, shards: Sequence[int], call: Callable[[int], object]
+        self,
+        shards: Sequence[int],
+        call: Callable[[int], object],
+        span_name: Optional[str] = None,
     ) -> List[Tuple[object, Optional[BaseException]]]:
-        """Run ``call(shard)`` everywhere, collecting (result, error) pairs."""
+        """Run ``call(shard)`` everywhere, collecting (result, error) pairs.
+
+        ``span_name`` wraps each shard's work in a child span (attribute
+        ``shard=j``) of the *calling* context's span.  ``contextvars`` do
+        not cross the pool's thread hop on their own, so the parent span
+        is captured here and re-attached inside each worker — giving the
+        trace tree one child per shard even when shards run on reused
+        executor threads.
+        """
+        tracer = get_tracer()
+        parent = tracer.current_span() if span_name is not None else None
+
+        def traced(shard: int):
+            if parent is None:
+                return call(shard)
+            with tracer.attach(parent), tracer.span(span_name, shard=shard):
+                return call(shard)
+
         if len(shards) <= 1:
             outcomes = []
             for shard in shards:
                 try:
-                    outcomes.append((call(shard), None))
+                    outcomes.append((traced(shard), None))
                 except BaseException as error:  # noqa: BLE001 - reported to caller
                     outcomes.append((None, error))
             return outcomes
         executor = self._ensure_executor()
-        futures = [executor.submit(call, shard) for shard in shards]
+        futures = [executor.submit(traced, shard) for shard in shards]
         outcomes = []
         for future in futures:
             error = future.exception()

@@ -28,6 +28,7 @@ from repro.persistence.snapshot import (
 )
 from repro.evaluation.latency import LatencyRecorder
 from repro.evaluation.runner import EvaluationRun, run_method_on_cases
+from repro.obs import get_tracer
 from repro.formula.engine import FormulaEngine, RecalcReport
 from repro.service.concurrency import ReadWriteLock
 from repro.extensions.autofill import AutoFillSuggestion, ValueAutoFill
@@ -268,7 +269,12 @@ class Workspace:
         """
         require_one_edit_operand(value, formula)
         self._ensure_log_replayed()
-        with self._rwlock.write_lock():
+        with get_tracer().span(
+            "workspace.edit_cell",
+            workspace=self.name,
+            workbook=workbook_name,
+            sheet=sheet_name,
+        ), self._rwlock.write_lock():
             if workbook_name not in self._workbooks:
                 raise KeyError(workbook_name)
             workbook = self._workbooks[workbook_name]
@@ -357,7 +363,9 @@ class Workspace:
                 f"predictor {self._predictor.name!r} does not support snapshots; "
                 "durable workspaces need a snapshot-capable predictor (AutoFormula)"
             )
-        with self._rwlock.write_lock():
+        with get_tracer().span(
+            "snapshot.save", workspace=self.name, directory=str(directory)
+        ), self._rwlock.write_lock():
             state, arrays = snapshot_state()
             files = save_corpus(directory, self.workbooks())
             names = save_arrays(directory, arrays)
@@ -402,6 +410,21 @@ class Workspace:
         raise ``ValueError``.
         """
         directory = Path(directory)
+        with get_tracer().span(
+            "snapshot.load", directory=str(directory), mmap=mmap
+        ) as span:
+            return cls._load_traced(directory, predictor, encoder, name, mmap, span)
+
+    @classmethod
+    def _load_traced(
+        cls,
+        directory: Path,
+        predictor: FormulaPredictor,
+        encoder: Optional[SheetEncoder],
+        name: Optional[str],
+        mmap: bool,
+        span,
+    ) -> "Workspace":
         manifest = read_manifest(directory)
         if manifest.get("kind") != "workspace":
             raise SnapshotFormatError(
@@ -426,6 +449,8 @@ class Workspace:
         log = MutationLog(mutation_log_path(directory))
         workspace._mutation_log = log
         workspace._pending_ops = log.read()
+        span.set_attribute("n_workbooks", len(workbooks))
+        span.set_attribute("pending_log_entries", len(workspace._pending_ops))
         return workspace
 
     # ---------------------------------------------------------------- serving
@@ -449,10 +474,13 @@ class Workspace:
         requests = list(requests)
         if not requests:
             return []
-        self._ensure_log_replayed()
-        self._ensure_fitted_for_serving()
-        with self._rwlock.read_lock():
-            return self._serve_batch_locked(requests)
+        with get_tracer().span(
+            "workspace.serve", workspace=self.name, n_requests=len(requests)
+        ):
+            self._ensure_log_replayed()
+            self._ensure_fitted_for_serving()
+            with self._rwlock.read_lock():
+                return self._serve_batch_locked(requests)
 
     def _serve_batch_locked(
         self, requests: List[RecommendationRequest]

@@ -1,0 +1,562 @@
+"""Tests for ``repro.obs``: the tracer, the metrics registry, and their
+wiring through the serving stack.
+
+Covers the ISSUE 10 tentpole guarantees: hierarchical span trees with
+``contextvars`` propagation (and *no* leakage across threads), systematic
+sampling plus the always-capture slow log, near-free disabled spans, the
+unified counter/gauge/histogram registry (N-thread hammer: no lost
+increments), the bounded-memory reservoir percentile estimator, the true
+in-flight gauge under a stalled flush, trace-id propagation through HTTP
+(headers, error bodies, ``SchemaError``), and the per-shard /
+per-stage span tree of a sharded recommend.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import AutoFormula, AutoFormulaConfig, FormulaService, ShardedWorkspace
+from repro.evaluation.latency import LatencyRecorder
+from repro.obs import MetricsRegistry, get_tracer, trace_tree
+from repro.obs.tracing import _NOOP_SPAN, Tracer
+from repro.server import (
+    FormulaClient,
+    ServerConfig,
+    ServerError,
+    SheetInterner,
+    start_server_in_background,
+)
+from repro.server.schemas import SchemaError, decode_recommend_payload
+from repro.service import RecommendationRequest
+
+from test_server import _stub_service, _target_sheet
+from test_service import _config
+
+
+@pytest.fixture()
+def tracer():
+    """The global tracer, enabled for the test and restored after.
+
+    The tracer is process-global state; every test that flips it on must
+    leave it disabled so unrelated tests keep paying the no-op price.
+    """
+    instance = get_tracer()
+    instance.configure(enabled=True, sample_rate=1.0, slow_threshold_s=0.25)
+    instance.reset()
+    try:
+        yield instance
+    finally:
+        instance.configure(enabled=False, sample_rate=1.0, slow_threshold_s=0.25)
+        instance.reset()
+
+
+def _span_names(node, into=None):
+    """Flatten a trace-tree node into the set of span names it contains."""
+    into = set() if into is None else into
+    into.add(node["name"])
+    for child in node["children"]:
+        _span_names(child, into)
+    return into
+
+
+def _find_spans(node, name, found=None):
+    """All nodes named ``name`` anywhere under ``node`` (pre-order)."""
+    found = [] if found is None else found
+    if node["name"] == name:
+        found.append(node)
+    for child in node["children"]:
+        _find_spans(child, name, found)
+    return found
+
+
+# ------------------------------------------------------------------- tracer
+
+
+class TestTracer:
+    def test_nested_spans_build_one_tree(self, tracer):
+        with tracer.span("http.request", method="POST") as root:
+            with tracer.span("wire.decode", n_requests=2):
+                pass
+            with tracer.span("batch.flush") as flush:
+                with tracer.span("workspace.serve"):
+                    pass
+            root.set_attribute("status", 200)
+
+        recent = tracer.recent_traces()
+        assert len(recent) == 1
+        tree = recent[0]
+        assert tree["n_spans"] == 4
+        assert tree["orphans"] == []
+        assert tree["root"]["name"] == "http.request"
+        assert tree["root"]["attributes"] == {"method": "POST", "status": 200}
+        child_names = [child["name"] for child in tree["root"]["children"]]
+        assert child_names == ["wire.decode", "batch.flush"]
+        serve = tree["root"]["children"][1]["children"]
+        assert [node["name"] for node in serve] == ["workspace.serve"]
+        assert flush.duration_s >= 0.0
+        assert tree["duration_ms"] >= tree["root"]["children"][1]["duration_ms"]
+
+    def test_trace_id_seeding_and_generation(self, tracer):
+        with tracer.span("http.request", trace_id="cafe1234") as span:
+            assert span.trace.trace_id == "cafe1234"
+            assert tracer.current_trace_id() == "cafe1234"
+            # Nested spans ignore the seed and join the active trace.
+            with tracer.span("inner", trace_id="ffff0000") as inner:
+                assert inner.trace is span.trace
+        with tracer.span("http.request") as span:
+            generated = span.trace.trace_id
+        assert len(generated) == 16
+        int(generated, 16)  # hex
+
+    def test_exception_stamps_error_attribute_and_still_captures(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("http.request"):
+                raise RuntimeError("boom")
+        tree = tracer.recent_traces()[-1]
+        assert tree["root"]["attributes"]["error"] == "RuntimeError: boom"
+
+    def test_disabled_tracer_hands_out_the_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("anything", foo=1)
+        second = tracer.span("else")
+        assert first is second is _NOOP_SPAN
+        with first as span:
+            span.set_attribute("ignored", True)
+            assert span.trace is None
+            assert tracer.current_span() is None
+        assert tracer.recent_traces() == []
+        assert tracer.stats()["traces_started"] == 0
+
+    def test_systematic_sampling_admits_exact_fraction(self):
+        tracer = Tracer(enabled=True, sample_rate=0.25, slow_threshold_s=0.0)
+        for __ in range(16):
+            with tracer.span("request"):
+                pass
+        stats = tracer.stats()
+        assert stats["traces_started"] == 16
+        assert stats["recent_captured"] == 4  # deterministic 1-in-4
+
+    def test_slow_log_captures_even_unsampled_traces(self):
+        tracer = Tracer(enabled=True, sample_rate=0.0, slow_threshold_s=1e-9)
+        with tracer.span("request"):
+            time.sleep(0.002)
+        assert tracer.recent_traces() == []
+        slow = tracer.slow_traces()
+        assert len(slow) == 1
+        assert slow[0]["sampled"] is False
+        assert slow[0]["duration_ms"] >= 1.0
+
+    def test_zero_threshold_disables_slow_log(self):
+        tracer = Tracer(enabled=True, sample_rate=1.0, slow_threshold_s=0.0)
+        with tracer.span("request"):
+            pass
+        assert tracer.slow_traces() == []
+        assert len(tracer.recent_traces()) == 1
+
+    def test_rings_are_bounded(self):
+        tracer = Tracer(
+            enabled=True, sample_rate=1.0, slow_threshold_s=1e-9, max_recent=4, max_slow=2
+        )
+        for index in range(9):
+            with tracer.span("request", index=index):
+                pass
+        recent = tracer.recent_traces()
+        assert len(recent) == 4
+        # Oldest evicted first: the survivors are the four newest.
+        assert [tree["root"]["attributes"]["index"] for tree in recent] == [5, 6, 7, 8]
+        assert len(tracer.slow_traces()) == 2
+
+    def test_tracing_does_not_perturb_the_seeded_global_rng(self):
+        import random
+
+        random.seed(1234)
+        clean = [random.random() for __ in range(4)]
+        random.seed(1234)
+        tracer = Tracer(enabled=True, sample_rate=1.0)
+        drawn = []
+        for __ in range(4):
+            with tracer.span("request"):
+                drawn.append(random.random())
+        assert drawn == clean
+
+
+class TestContextPropagation:
+    def test_plain_threads_do_not_inherit_the_current_span(self, tracer):
+        """A worker thread starts with a clean context: its spans are new
+        roots, never silently parented under another request's span."""
+        seen = {}
+
+        def worker():
+            with tracer.span("worker.request") as span:
+                seen["parent_id"] = span.parent_id
+                seen["trace_id"] = span.trace.trace_id
+
+        with tracer.span("http.request") as root:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert seen["parent_id"] is None
+            assert seen["trace_id"] != root.trace.trace_id
+
+    def test_attach_carries_a_span_across_the_thread_hop(self, tracer):
+        with tracer.span("http.request") as root:
+            def worker():
+                with tracer.attach(root):
+                    with tracer.span("batch.flush") as child:
+                        assert child.trace is root.trace
+                        assert child.parent_id == root.span_id
+                # The attachment is scoped: after the with, nothing leaks.
+                assert tracer.current_span() is None
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        tree = tracer.recent_traces()[-1]
+        assert [node["name"] for node in tree["root"]["children"]] == ["batch.flush"]
+
+    def test_hammer_no_cross_request_span_leakage(self, tracer):
+        """N threads each run M root+child traces; every child must land
+        under its own thread's root — contextvars isolation under load."""
+        n_threads, n_traces = 8, 25
+        barrier = threading.Barrier(n_threads)
+        failures = []
+
+        def worker(worker_id):
+            barrier.wait()
+            for index in range(n_traces):
+                with tracer.span("request", worker=worker_id, index=index) as root:
+                    with tracer.span("stage") as child:
+                        if child.trace is not root.trace or child.parent_id != root.span_id:
+                            failures.append((worker_id, index))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        assert tracer.stats()["traces_started"] == n_threads * n_traces
+        for tree in tracer.recent_traces():
+            assert tree["n_spans"] == 2
+            assert tree["orphans"] == []
+            assert [node["name"] for node in tree["root"]["children"]] == ["stage"]
+
+
+# ----------------------------------------------------------------- registry
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_make_and_read(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("server.accepted")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("server.accepted") is counter
+        assert registry.counter_value("server.accepted") == 5
+        assert registry.counter_value("server.never_touched") == 0
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labeled_counters_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("server.batch_size", labels={"size": "1"}).inc(3)
+        registry.counter("server.batch_size", labels={"size": "8"}).inc()
+        values = registry.counter_values("server.batch_size")
+        assert values == {(("size", "1"),): 3, (("size", "8"),): 1}
+
+    def test_gauge_set_and_callback_modes(self):
+        registry = MetricsRegistry()
+        direct = registry.gauge("server.depth")
+        direct.set(7)
+        assert direct.value == 7
+        box = {"value": 0}
+        sampled = registry.gauge("server.inflight", fn=lambda: box["value"])
+        box["value"] = 3
+        assert sampled.value == 3
+        with pytest.raises(RuntimeError, match="callback"):
+            sampled.set(1)
+        broken = registry.gauge("server.broken", fn=lambda: 1 / 0)
+        assert broken.value != broken.value  # NaN, never an exception
+
+    def test_one_name_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("server.accepted")
+        with pytest.raises(ValueError, match="different kind"):
+            registry.gauge("server.accepted")
+        with pytest.raises(ValueError, match="different kind"):
+            registry.histogram("server.accepted")
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="dotted identifiers"):
+            registry.counter("server accepted!")
+
+    def test_snapshot_nests_by_dotted_name(self):
+        registry = MetricsRegistry()
+        registry.counter("server.accepted").inc(2)
+        registry.counter("server.batch_size", labels={"size": "4"}).inc()
+        registry.gauge("workspace.index_bytes", labels={"workspace": "acme"}).set(128)
+        registry.histogram("server.queue_wait").observe(0.25)
+        tree = registry.snapshot()
+        assert tree["server"]["accepted"] == 2
+        assert tree["server"]["batch_size"] == {"size=4": 1}
+        assert tree["workspace"]["index_bytes"] == {"workspace=acme": 128}
+        assert tree["server"]["queue_wait"]["count"] == 1.0
+        assert tree["server"]["queue_wait"]["p50_seconds"] == pytest.approx(0.25)
+
+    def test_prometheus_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("server.accepted").inc(3)
+        registry.gauge("server.queue_depth", labels={"workspace": "acme"}).set(2)
+        histogram = registry.histogram("server.endpoint", labels={"endpoint": "recommend"})
+        histogram.observe(0.1)
+        histogram.observe(0.3)
+        text = registry.render_prometheus()
+        lines = text.strip().splitlines()
+        assert "# TYPE server_accepted_total counter" in lines
+        assert "server_accepted_total 3" in lines
+        assert 'server_queue_depth{workspace="acme"} 2' in lines
+        assert any(
+            line.startswith('server_endpoint_seconds{endpoint="recommend",quantile="0.5"}')
+            for line in lines
+        )
+        assert 'server_endpoint_seconds_count{endpoint="recommend"} 2' in lines
+        assert any(
+            line.startswith('server_endpoint_seconds_sum{endpoint="recommend"}')
+            for line in lines
+        )
+        assert text.endswith("\n")
+
+    def test_counter_hammer_no_lost_increments(self):
+        registry = MetricsRegistry()
+        n_threads, n_incs = 8, 10_000
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            # get-or-make races with other threads on purpose.
+            counter = registry.counter("hammer.total")
+            for __ in range(n_incs):
+                counter.inc()
+                registry.histogram("hammer.latency").observe(0.001)
+
+        threads = [threading.Thread(target=worker) for __ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("hammer.total") == n_threads * n_incs
+        assert len(registry.histogram("hammer.latency")) == n_threads * n_incs
+
+
+# ---------------------------------------------------------------- reservoir
+
+
+class TestReservoirRecorder:
+    def test_memory_is_bounded_but_aggregates_are_exact(self):
+        recorder = LatencyRecorder(reservoir_size=256)
+        for index in range(10_000):
+            recorder.record(index / 10_000)
+        assert recorder.window_count == 256
+        assert len(recorder) == 10_000
+        summary = recorder.summary()
+        assert summary["count"] == 10_000.0
+        assert summary["max_seconds"] == pytest.approx(0.9999)
+        assert summary["total_seconds"] == pytest.approx(sum(i / 10_000 for i in range(10_000)))
+
+    def test_reservoir_percentiles_track_the_exact_window(self):
+        rng = np.random.default_rng(42)
+        samples = rng.uniform(0.0, 1.0, size=20_000)
+        reservoir = LatencyRecorder(reservoir_size=2048)
+        exact = LatencyRecorder(window_size=len(samples))
+        for value in samples:
+            reservoir.record(float(value))
+            exact.record(float(value))
+        for fraction, tolerance in ((0.5, 0.06), (0.95, 0.04), (0.99, 0.02)):
+            assert reservoir.percentile(fraction) == pytest.approx(
+                exact.percentile(fraction), abs=tolerance
+            )
+
+    def test_small_streams_are_kept_verbatim(self):
+        recorder = LatencyRecorder(reservoir_size=64)
+        for value in (0.1, 0.2, 0.3):
+            recorder.record(value)
+        assert recorder.percentile(0.5) == pytest.approx(0.2)
+
+
+# ------------------------------------------------------------------- server
+
+
+class TestServerObservability:
+    def test_trace_header_echo_and_error_bodies(self):
+        config = ServerConfig(trace_sample_rate=1.0)
+        with start_server_in_background(_stub_service(), config) as handle:
+            client = FormulaClient(handle.host, handle.port)
+            # Caller-seeded trace id is echoed back on the response.
+            status, headers, __ = client.request(
+                "POST",
+                "/v1/workspaces/acme/recommend",
+                {"sheet": {"name": "T", "cells": {"A1": {"value": 1.0}}}, "cell": "A2"},
+                trace_id="feedc0de00000001",
+            )
+            assert status == 200
+            assert headers.get("X-Trace-Id") == "feedc0de00000001"
+
+            # Server-generated ids ride every response too.
+            status, headers, __ = client.request("GET", "/health")
+            assert status == 200
+            assert headers.get("X-Trace-Id")
+
+            # 4xx/5xx bodies carry the trace id for correlation.
+            with pytest.raises(ServerError) as excinfo:
+                client.recommend("ghost", _target_sheet(), "A3")
+            assert excinfo.value.status == 404
+            assert excinfo.value.trace_id
+            assert excinfo.value.body["trace_id"] == excinfo.value.trace_id
+
+            with pytest.raises(ServerError) as excinfo:
+                client._checked(
+                    "POST", "/v1/workspaces/acme/recommend", {"cell": "A1"}
+                )
+            assert excinfo.value.status == 400
+            assert excinfo.value.trace_id
+            # The SchemaError detail names the trace id too.
+            assert "trace_id=" in str(excinfo.value.body.get("detail", ""))
+
+    def test_schema_error_message_carries_active_trace_id(self, tracer):
+        interner = SheetInterner()
+        with tracer.span("http.request", trace_id="abad1dea0000cafe"):
+            with pytest.raises(SchemaError) as excinfo:
+                decode_recommend_payload({"sheet": "not a dict"}, interner)
+            assert "trace_id=abad1dea0000cafe" in str(excinfo.value)
+            assert excinfo.value.trace_id == "abad1dea0000cafe"
+        # With tracing off there is no trace, and the message stays clean.
+        tracer.configure(enabled=False)
+        with pytest.raises(SchemaError) as excinfo:
+            decode_recommend_payload({"sheet": "not a dict"}, interner)
+        assert "trace_id" not in str(excinfo.value)
+        assert excinfo.value.trace_id is None
+
+    def test_metrics_and_traces_endpoints(self):
+        config = ServerConfig(trace_sample_rate=1.0)
+        with start_server_in_background(_stub_service(), config) as handle:
+            client = FormulaClient(handle.host, handle.port)
+            client.recommend("acme", _target_sheet(), "A3")
+
+            text = client.metrics_text()
+            lines = text.strip().splitlines()
+            assert "server_accepted_total 1" in lines
+            assert any(line.startswith("server_inflight ") for line in lines)
+            assert any(
+                line.startswith('server_endpoint_seconds{endpoint="recommend",quantile="0.5"}')
+                for line in lines
+            )
+
+            body = client.traces()
+            assert set(body) == {"recent", "slow", "stats"}
+            assert body["stats"]["enabled"] is True
+            recommend_roots = [
+                tree["root"]
+                for tree in body["recent"]
+                if tree["root"]["attributes"].get("endpoint") == "recommend"
+            ]
+            assert recommend_roots
+            names = _span_names(recommend_roots[-1])
+            assert {"http.request", "wire.decode", "batch.flush", "workspace.serve"} <= names
+
+            stats = client.stats()
+            assert stats["tracing"]["enabled"] is True
+            assert stats["in_flight"] == 0
+
+    def test_inflight_gauge_sees_stalled_flush(self):
+        """Regression for the /stats queue-depth bug: while a batch is
+        stuck in the (slow) flush, admitted-minus-completed must be > 0,
+        and must return to 0 once the batch drains."""
+        config = ServerConfig(max_batch_wait_s=0.0)
+        with start_server_in_background(_stub_service(delay_seconds=0.6), config) as handle:
+            client = FormulaClient(handle.host, handle.port)
+            errors = []
+
+            def fire():
+                try:
+                    FormulaClient(handle.host, handle.port).recommend(
+                        "acme", _target_sheet(), "A3"
+                    )
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            worker = threading.Thread(target=fire)
+            worker.start()
+            observed = 0
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                observed = client.stats()["in_flight"]
+                if observed > 0:
+                    break
+                time.sleep(0.02)
+            worker.join()
+            assert not errors
+            assert observed > 0
+            assert client.stats()["in_flight"] == 0
+
+
+# ------------------------------------------------------------- sharded trace
+
+
+class TestShardedTraceTree:
+    def test_sharded_recommend_produces_per_shard_stage_spans(
+        self, tracer, trained_encoder, pge_corpus
+    ):
+        from repro.corpus import sample_test_cases, split_corpus
+
+        test_workbooks, reference_workbooks = split_corpus(pge_corpus, 0.15, "timestamp")
+        cases = sample_test_cases("PGE", test_workbooks, max_per_sheet=2, seed=0)
+        workspace = ShardedWorkspace(
+            "traced", lambda: AutoFormula(trained_encoder, _config("exact")), 3
+        )
+        try:
+            workspace.add_workbooks(reference_workbooks[:6])
+            tracer.reset()
+            case = cases[0]
+            workspace.recommend(RecommendationRequest(case.target_sheet, case.target_cell))
+        finally:
+            workspace.close()
+
+        recent = tracer.recent_traces()
+        assert recent, "sharded serve must produce a sampled trace"
+        tree = recent[-1]
+        root = tree["root"]
+        assert root["name"] == "sharded.serve"
+        assert root["attributes"]["workspace"] == "traced"
+        assert root["attributes"]["n_shards"] == 3
+        assert tree["orphans"] == []
+
+        # Phase 1: one s1.shard child per populated shard, distinct ids.
+        (s1,) = _find_spans(root, "shard.s1")
+        s1_children = [node for node in s1["children"] if node["name"] == "s1.shard"]
+        assert len(s1_children) == s1["attributes"]["n_shards"] >= 1
+        shard_ids = [node["attributes"]["shard"] for node in s1_children]
+        assert len(set(shard_ids)) == len(shard_ids)
+        # Each shard's S1 work nests the stage span, which nests the
+        # index scan.
+        for node in s1_children:
+            names = _span_names(node)
+            assert "s1.sheet_hits" in names
+            assert "index.search" in names
+
+        # Phase 2: scoring spans nest under their shard spans.
+        (s2,) = _find_spans(root, "shard.s2")
+        s2_children = [node for node in s2["children"] if node["name"] == "s2.shard"]
+        assert len(s2_children) == s2["attributes"]["n_shards"] >= 1
+        assert any("s2.score" in _span_names(node) for node in s2_children)
+
+        # Spans carry usable timings: every child fits inside the root.
+        def check_bounds(node):
+            for child in node["children"]:
+                assert child["start_ms"] >= node["start_ms"] - 1e-6
+                assert child["duration_ms"] >= 0.0
+                check_bounds(child)
+
+        check_bounds(root)
